@@ -1,0 +1,93 @@
+// Command mbtables regenerates the paper's tables:
+//
+//	mbtables -table 1              Table 1 (sampling vs search accuracy)
+//	mbtables -table 2              Table 2 (2-way vs 10-way search)
+//	mbtables -resonance            the §3.1 sampling-interval study
+//	mbtables -table 1 -apps tomcatv,mgrid -csv
+//	mbtables -table 1 -paper       paper-fidelity parameters (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"membottle/internal/experiments"
+	"membottle/internal/report"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table to regenerate: 1 or 2")
+		resonance = flag.Bool("resonance", false, "run the §3.1 sampling resonance study")
+		apps      = flag.String("apps", "", "comma-separated app subset (default: all seven)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		paper     = flag.Bool("paper", false, "paper-fidelity parameters (1-in-50,000 sampling, 10x budgets)")
+		seed      = flag.Int64("seed", 0, "seed for randomized components")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Paper: *paper, Seed: *seed}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+
+	emit := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	ran := false
+	switch *table {
+	case 0:
+		// fallthrough to resonance check
+	case 1:
+		rs, err := experiments.Table1(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderTable1(rs))
+		for _, r := range rs {
+			fmt.Printf("# %s: %d samples (interval %d), search %d iterations (converged=%v)\n",
+				r.App, r.SampleCount, r.SampleInterval, r.SearchIterations, r.SearchConverged)
+		}
+		ran = true
+	case 2:
+		rs, err := experiments.Table2(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderTable2(rs))
+		ran = true
+	default:
+		fatal(fmt.Errorf("unknown table %d (want 1 or 2)", *table))
+	}
+
+	if *resonance {
+		r, err := experiments.Resonance(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.RenderResonance(r))
+		ran = true
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command mbtrace records a workload's memory-reference stream to a
+// compact binary trace, inspects traces, and replays them through a fresh
+// simulated cache — the ATOM-style capture side of the paper's tooling.
+//
+//	mbtrace -record -app tomcatv -budget 10000000 -o tomcatv.mbt
+//	mbtrace -info tomcatv.mbt
+//	mbtrace -replay tomcatv.mbt -budget 10000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"membottle"
+	"membottle/internal/trace"
+)
+
+func main() {
+	var (
+		record = flag.Bool("record", false, "record a workload trace")
+		replay = flag.String("replay", "", "replay a trace file through a fresh cache")
+		info   = flag.String("info", "", "describe a trace file")
+		app    = flag.String("app", "tomcatv", "workload to record")
+		budget = flag.Uint64("budget", 10_000_000, "application instructions")
+		out    = flag.String("o", "", "output file for -record (default <app>.mbt)")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		doRecord(*app, *budget, *out)
+	case *replay != "":
+		doReplay(*replay, *budget)
+	case *info != "":
+		doInfo(*info)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(app string, budget uint64, out string) {
+	if out == "" {
+		out = app + ".mbt"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	w, err := membottle.NewWorkload(app)
+	if err != nil {
+		fatal(err)
+	}
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	sys.LoadWorkload(w)
+	tw, err := trace.Record(f, w, sys.Machine, budget)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %s: %d events, %d bytes (%.2f bytes/event), %d misses\n",
+		out, tw.Events(), st.Size(), float64(st.Size())/float64(tw.Events()),
+		sys.Machine.Cache.Stats.Misses)
+}
+
+func doReplay(path string, budget uint64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rp, err := trace.NewReplay(path, f)
+	if err != nil {
+		fatal(err)
+	}
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	sys.LoadWorkload(rp)
+	sys.Run(budget)
+	st := sys.Machine.Cache.Stats
+	fmt.Printf("replayed %d instructions: %d refs, %d misses (%.2f%% miss ratio), %d cycles\n",
+		sys.Machine.AppInsts, st.Accesses(), st.Misses, 100*st.MissRatio(), sys.Machine.Cycles)
+}
+
+func doInfo(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var refs, writes, computeRecs, computeInsts uint64
+	var lo, hi uint64
+	first := true
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if ev.Compute > 0 {
+			computeRecs++
+			computeInsts += ev.Compute
+			continue
+		}
+		refs++
+		if ev.Write {
+			writes++
+		}
+		a := uint64(ev.Addr)
+		if first || a < lo {
+			lo = a
+		}
+		if first || a > hi {
+			hi = a
+		}
+		first = false
+	}
+	fmt.Printf("%s: %d refs (%d writes), %d compute records (%d instructions)\n",
+		path, refs, writes, computeRecs, computeInsts)
+	if !first {
+		fmt.Printf("address range: [%#x, %#x] (%d bytes)\n", lo, hi, hi-lo+1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbtrace:", err)
+	os.Exit(1)
+}

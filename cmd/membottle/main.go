@@ -1,0 +1,108 @@
+// Command membottle profiles one of the built-in workloads with either of
+// the paper's techniques and prints the ranked data-structure miss report
+// next to the simulator's ground truth.
+//
+// Usage:
+//
+//	membottle -app tomcatv -profiler search -n 10
+//	membottle -app ijpeg -profiler sample -interval 2000 -mode prime
+//	membottle -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"membottle"
+	"membottle/internal/report"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "tomcatv", "workload to profile (see -list)")
+		profiler = flag.String("profiler", "search", "technique: sample | search")
+		budget   = flag.Uint64("budget", 130_000_000, "application instructions to simulate")
+		interval = flag.Uint64("interval", 2000, "sampling: misses between samples")
+		mode     = flag.String("mode", "fixed", "sampling interval mode: fixed | prime | random")
+		n        = flag.Int("n", 10, "search: number of region counters")
+		searchIv = flag.Uint64("search-interval", 8_000_000, "search: initial iteration length (cycles)")
+		seed     = flag.Int64("seed", 0, "seed for randomized sampling intervals")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(membottle.Workloads(), "\n"))
+		return
+	}
+
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName(*app); err != nil {
+		fatal(err)
+	}
+
+	var prof membottle.Profiler
+	switch *profiler {
+	case "sample":
+		var m membottle.IntervalMode
+		switch *mode {
+		case "fixed":
+			m = membottle.IntervalFixed
+		case "prime":
+			m = membottle.IntervalPrime
+		case "random":
+			m = membottle.IntervalRandom
+		default:
+			fatal(fmt.Errorf("unknown interval mode %q", *mode))
+		}
+		prof = membottle.NewSampler(membottle.SamplerConfig{Interval: *interval, Mode: m, Seed: *seed})
+	case "search":
+		prof = membottle.NewSearch(membottle.SearchConfig{N: *n, Interval: *searchIv})
+	default:
+		fatal(fmt.Errorf("unknown profiler %q (want sample or search)", *profiler))
+	}
+
+	if err := sys.Attach(prof); err != nil {
+		fatal(err)
+	}
+	sys.Run(*budget)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("%s under %s", *app, *profiler),
+		Headers: []string{"Object", "Estimated %", "Actual %", "Actual misses"},
+	}
+	es := prof.Estimates()
+	seen := map[string]bool{}
+	for _, e := range es {
+		seen[e.Object.Name] = true
+		t.AddRow(e.Object.Name, report.Pct(e.Pct), report.Pct(sys.Truth.Pct(e.Object.Name)),
+			fmt.Sprintf("%d", sys.Truth.Misses(e.Object.Name)))
+	}
+	for _, r := range sys.Truth.Ranked() {
+		if !seen[r.Object.Name] && r.Pct >= 0.01 {
+			t.AddRow(r.Object.Name+" (missed)", "", report.Pct(r.Pct), fmt.Sprintf("%d", r.Misses))
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	ov := sys.Overhead()
+	fmt.Printf("\ninstructions: %d  cycles: %d  misses: %d\n", ov.AppInstructions, ov.TotalCycles, ov.TotalMisses)
+	fmt.Printf("interrupts: %d (%.1f per 1e9 cycles)  handler cycles: %d  slowdown: %.4f%%\n",
+		ov.Interrupts, ov.InterruptsPerBillionCycles(), ov.HandlerCycles, ov.SlowdownPct())
+	if s, ok := prof.(*membottle.Search); ok {
+		fmt.Printf("search: %d iterations, converged=%v\n", s.Iterations(), s.Converged())
+	}
+	if s, ok := prof.(*membottle.Sampler); ok {
+		fmt.Printf("sampling: %d samples at interval %d (%d matched an object)\n",
+			s.Samples(), s.Interval(), s.Matched())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "membottle:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Comparison: run both of the paper's techniques on the same workload and
+// compare their answers and their costs — the trade-off the paper's
+// conclusions discuss: sampling ranks every object but needs many
+// interrupts; the n-way search takes orders of magnitude fewer interrupts
+// but can only report as many objects as it has counters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"membottle"
+)
+
+func run(profiler string) (membottle.Profiler, *membottle.System) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName("su2cor"); err != nil {
+		log.Fatal(err)
+	}
+	var prof membottle.Profiler
+	if profiler == "sample" {
+		prof = membottle.NewSampler(membottle.SamplerConfig{Interval: 2000, Mode: membottle.IntervalPrime})
+	} else {
+		prof = membottle.NewSearch(membottle.SearchConfig{N: 10})
+	}
+	if err := sys.Attach(prof); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(170_000_000)
+	return prof, sys
+}
+
+func main() {
+	sample, sampleSys := run("sample")
+	search, searchSys := run("search")
+
+	fmt.Println("su2cor: sampling vs 10-way search (actual in parentheses)")
+	fmt.Printf("%-12s %-16s %-16s\n", "object", "sampling", "search")
+	seen := map[string]bool{}
+	emit := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		fmt.Printf("%-12s %7.1f%% (%4.1f%%) %7.1f%% (%4.1f%%)\n", name,
+			pct(sample.Estimates(), name), sampleSys.Truth.Pct(name),
+			pct(search.Estimates(), name), searchSys.Truth.Pct(name))
+	}
+	for i, e := range sample.Estimates() {
+		if i >= 8 {
+			break
+		}
+		emit(e.Object.Name)
+	}
+	for i, e := range search.Estimates() {
+		if i >= 8 {
+			break
+		}
+		emit(e.Object.Name)
+	}
+
+	so, eo := sampleSys.Overhead(), searchSys.Overhead()
+	fmt.Printf("\n%-10s %12s %18s %12s\n", "", "interrupts", "interrupts/1e9cyc", "slowdown")
+	fmt.Printf("%-10s %12d %18.1f %11.4f%%\n", "sampling", so.Interrupts, so.InterruptsPerBillionCycles(), so.SlowdownPct())
+	fmt.Printf("%-10s %12d %18.1f %11.4f%%\n", "search", eo.Interrupts, eo.InterruptsPerBillionCycles(), eo.SlowdownPct())
+}
+
+func pct(es []membottle.Estimate, name string) float64 {
+	for _, e := range es {
+		if e.Object.Name == name {
+			return e.Pct
+		}
+	}
+	return 0
+}

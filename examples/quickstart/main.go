@@ -1,0 +1,38 @@
+// Quickstart: find the data structures causing the most cache misses in a
+// workload, using the n-way-search technique from Buck & Hollingsworth
+// (SC 2000) on the simulated machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"membottle"
+)
+
+func main() {
+	// A simulated system with the paper's configuration: 2 MB 4-way
+	// cache, ten region miss counters, 8,800-cycle interrupt delivery.
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+
+	// Load one of the built-in SPEC95 workload recreations.
+	if err := sys.LoadWorkloadByName("tomcatv"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the ten-way search and run 130M application instructions.
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10})
+	if err := sys.Attach(prof); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(130_000_000)
+
+	fmt.Println("data structures by share of cache misses (search / actual):")
+	for _, e := range prof.Estimates() {
+		fmt.Printf("  %-8s %5.1f%%   (actual %5.1f%%)\n",
+			e.Object.Name, e.Pct, sys.Truth.Pct(e.Object.Name))
+	}
+
+	ov := sys.Overhead()
+	fmt.Printf("\noverhead: %d interrupts, %.4f%% slowdown\n", ov.Interrupts, ov.SlowdownPct())
+}

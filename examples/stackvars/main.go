@@ -1,0 +1,91 @@
+// Stackvars: the paper's §5 extensions in action — stack-variable
+// attribution via frame layouts, aggregation across activations of the
+// same local, and an auto-tuned sampling interval.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"membottle"
+)
+
+// transform models a signal-processing pipeline: each call pushes a frame
+// with a large local window buffer, recursing once, while streaming an
+// input signal from a global. Real profilers struggle to attribute the
+// window's misses; with frame layouts registered, the sampler reports
+// them under "transform:window" across all activations.
+type transform struct {
+	signal membottle.Addr
+	step   uint64
+}
+
+func (w *transform) Name() string { return "transform" }
+
+func (w *transform) Setup(m *membottle.Machine) {
+	w.signal = m.Space.MustDefineGlobal("signal", 8<<20)
+}
+
+const windowBytes = 1 << 20
+
+func (w *transform) call(m *membottle.Machine, depth int) {
+	base, err := m.PushFrame("transform", windowBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := m.PopFrame(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	// Fill the local window from the signal.
+	sigOff := (w.step * windowBytes) % (8 << 20)
+	for off := uint64(0); off < windowBytes; off += 8 {
+		m.Load(w.signal + membottle.Addr((sigOff+off)%(8<<20)))
+		m.Store(base + membottle.Addr(off))
+		m.Compute(3)
+	}
+	if depth > 0 {
+		w.call(m, depth-1)
+	}
+	// Reduce the window: by the time an outer frame is reduced, the
+	// deeper activations have flushed it from the cache.
+	for off := uint64(0); off < windowBytes; off += 8 {
+		m.Load(base + membottle.Addr(off))
+		m.Compute(2)
+	}
+}
+
+func (w *transform) Step(m *membottle.Machine) {
+	w.step++
+	w.call(m, 2)
+}
+
+func main() {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	// Frame layouts stand in for debug information.
+	sys.Objects.RegisterFrameLayout("transform", []membottle.LocalVar{
+		{Name: "window", Offset: 0, Size: windowBytes},
+	})
+	sys.LoadWorkload(&transform{})
+
+	prof := membottle.NewSampler(membottle.SamplerConfig{
+		Interval:          10_000, // deliberately coarse; the tuner will adjust it
+		Mode:              membottle.IntervalPrime,
+		TargetOverheadPct: 1.0,
+	})
+	if err := sys.Attach(prof); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(120_000_000)
+
+	fmt.Println("sampled misses by object, aggregated across activations:")
+	for _, e := range membottle.AggregateByName(prof.Estimates()) {
+		fmt.Printf("  %-18s %-6s %5.1f%%\n", e.Object.Name, e.Object.Kind, e.Pct)
+	}
+
+	ov := sys.Overhead()
+	fmt.Printf("\nauto-tuned interval: %d misses/sample (started at 10000)\n", prof.Interval())
+	fmt.Printf("observed overhead: %.2f%% (target 1.0%%), %d samples\n",
+		ov.SlowdownPct(), prof.Samples())
+}

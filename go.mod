@@ -1,0 +1,3 @@
+module membottle
+
+go 1.22

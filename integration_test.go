@@ -1,0 +1,144 @@
+package membottle_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"membottle"
+	"membottle/internal/trace"
+)
+
+// tracedWorkload replays a recorded trace against the object layout the
+// original workload's Setup creates — the pattern a user follows to
+// profile a captured trace with data-structure attribution.
+type tracedWorkload struct {
+	orig   membottle.Workload
+	replay *trace.Replay
+}
+
+func (t *tracedWorkload) Name() string               { return "traced:" + t.orig.Name() }
+func (t *tracedWorkload) Setup(m *membottle.Machine) { t.orig.Setup(m) }
+func (t *tracedWorkload) Step(m *membottle.Machine)  { t.replay.Step(m) }
+
+// TestTraceReplayProfiling records tomcatv, replays the trace under the
+// n-way search, and checks the attribution matches a direct run: the
+// deterministic allocator guarantees the replayed addresses resolve to
+// the same objects.
+func TestTraceReplayProfiling(t *testing.T) {
+	const budget = 30_000_000
+
+	// Record.
+	rec, err := membottle.NewWorkload("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSys := membottle.NewSystem(membottle.DefaultConfig())
+	recSys.LoadWorkload(rec)
+	var buf bytes.Buffer
+	if _, err := trace.Record(&buf, rec, recSys.Machine, budget); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay under the search, with the same Setup for object layout.
+	orig, err := membottle.NewWorkload("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := trace.NewReplay("tomcatv", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	sys.LoadWorkload(&tracedWorkload{orig: orig, replay: rp})
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(budget)
+
+	es := prof.Estimates()
+	if len(es) < 7 {
+		t.Fatalf("replay search found %d objects: %v", len(es), es)
+	}
+	// RX/RY top at ~22.5 each.
+	top2 := map[string]bool{es[0].Object.Name: true, es[1].Object.Name: true}
+	if !top2["RX"] || !top2["RY"] {
+		t.Fatalf("replay top two = %v, want RX and RY", es[:2])
+	}
+	for _, e := range es[:2] {
+		if math.Abs(e.Pct-22.5) > 3 {
+			t.Errorf("%s estimated %.1f%%, want ~22.5%%", e.Object.Name, e.Pct)
+		}
+	}
+}
+
+// TestSamplerAndSearchAgree cross-validates the two techniques: on the
+// same workload their rankings of the top objects must agree with each
+// other and with ground truth.
+func TestSamplerAndSearchAgree(t *testing.T) {
+	const budget = 60_000_000
+
+	run := func(mk func() membottle.Profiler) ([]membottle.Estimate, *membottle.System) {
+		sys := membottle.NewSystem(membottle.DefaultConfig())
+		if err := sys.LoadWorkloadByName("su2cor"); err != nil {
+			t.Fatal(err)
+		}
+		p := mk()
+		if err := sys.Attach(p); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(budget)
+		return p.Estimates(), sys
+	}
+
+	sample, sys1 := run(func() membottle.Profiler {
+		return membottle.NewSampler(membottle.SamplerConfig{Interval: 1009, Mode: membottle.IntervalPrime})
+	})
+	search, _ := run(func() membottle.Profiler {
+		return membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	})
+
+	if len(sample) == 0 || len(search) == 0 {
+		t.Fatal("a technique found nothing")
+	}
+	truthTop := sys1.Truth.Ranked()[0].Object.Name
+	if sample[0].Object.Name != truthTop {
+		t.Errorf("sampler top = %s, truth top = %s", sample[0].Object.Name, truthTop)
+	}
+	if search[0].Object.Name != truthTop {
+		t.Errorf("search top = %s, truth top = %s", search[0].Object.Name, truthTop)
+	}
+}
+
+// TestCustomCacheGeometry runs the whole stack on a different cache
+// (512 KB direct-mapped): attribution should still work, with more
+// conflict misses overall.
+func TestCustomCacheGeometry(t *testing.T) {
+	cfg := membottle.Config{
+		Cache:    membottle.CacheConfig{Size: 512 << 10, LineSize: 64, Assoc: 1},
+		Counters: 10,
+	}
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(40_000_000)
+	es := prof.Estimates()
+	if len(es) != 3 {
+		t.Fatalf("direct-mapped run found %d objects", len(es))
+	}
+	names := map[string]bool{}
+	for _, e := range es {
+		names[e.Object.Name] = true
+	}
+	for _, want := range []string{"U", "R", "V"} {
+		if !names[want] {
+			t.Errorf("missing %s on the direct-mapped cache", want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"membottle/internal/mem"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512 bytes.
+	return New(Config{Size: 512, LineSize: 64, Assoc: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Size: 0, LineSize: 64, Assoc: 1},
+		{Size: 100, LineSize: 64, Assoc: 1},   // size not power of two
+		{Size: 1024, LineSize: 48, Assoc: 1},  // line not power of two
+		{Size: 64, LineSize: 128, Assoc: 1},   // line > size
+		{Size: 1024, LineSize: 64, Assoc: 0},  // assoc < 1
+		{Size: 1024, LineSize: 64, Assoc: 32}, // assoc > lines
+		{Size: 2048, LineSize: 64, Assoc: 3},  // lines % assoc != 0
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if !c.Access(0x1000, false) {
+		t.Fatal("first access did not miss")
+	}
+	if c.Access(0x1000, false) {
+		t.Fatal("second access to same address missed")
+	}
+	// Same line, different offset: hit.
+	if c.Access(0x103f, true) {
+		t.Fatal("same-line access missed")
+	}
+	// Next line: miss.
+	if !c.Access(0x1040, false) {
+		t.Fatal("next-line access hit")
+	}
+	if c.Stats.Misses != 2 || c.Stats.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 hits 2 misses", c.Stats)
+	}
+	if c.Stats.Reads != 3 || c.Stats.Writes != 1 {
+		t.Fatalf("stats = %+v, want 3 reads 1 write", c.Stats)
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	c := small() // 4 sets, 64B lines: set = (addr>>6) & 3
+	// Two addresses 4 lines apart map to the same set.
+	a := mem.Addr(0)
+	b := mem.Addr(4 * 64)
+	c.Access(a, false)
+	c.Access(b, false)
+	// Both should be resident in the 2-way set.
+	if !c.Probe(a) || !c.Probe(b) {
+		t.Fatal("two lines in one 2-way set did not coexist")
+	}
+	// A third conflicting line evicts the LRU one (a).
+	c.Access(8*64, false)
+	if c.Probe(a) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !c.Probe(b) || !c.Probe(8*64) {
+		t.Fatal("wrong line evicted")
+	}
+}
+
+func TestLRUOrderRespectsTouches(t *testing.T) {
+	c := small()
+	a, b, d := mem.Addr(0), mem.Addr(4*64), mem.Addr(8*64)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // touch a: now b is LRU
+	c.Access(d, false) // evicts b
+	if !c.Probe(a) {
+		t.Fatal("recently touched line evicted")
+	}
+	if c.Probe(b) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small()
+	a, b, d := mem.Addr(0), mem.Addr(4*64), mem.Addr(8*64)
+	c.Access(a, false)
+	c.Access(b, false)
+	stats := c.Stats
+	for i := 0; i < 10; i++ {
+		c.Probe(a) // must not refresh a's LRU stamp
+	}
+	if c.Stats != stats {
+		t.Fatal("Probe changed statistics")
+	}
+	c.Access(d, false) // should still evict a (LRU), not b
+	if c.Probe(a) {
+		t.Fatal("Probe refreshed LRU state")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small()
+	for i := 0; i < 8; i++ {
+		c.Access(mem.Addr(i*64), false)
+	}
+	if c.Resident() != 8 {
+		t.Fatalf("resident = %d, want 8", c.Resident())
+	}
+	stats := c.Stats
+	c.Flush()
+	if c.Resident() != 0 {
+		t.Fatal("flush left valid lines")
+	}
+	if c.Stats != stats {
+		t.Fatal("flush changed stats")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("post-flush access hit")
+	}
+}
+
+func TestStreamingMissRate(t *testing.T) {
+	// Streaming sequentially through a region 4x the cache size must miss
+	// exactly once per line: this is the steady-state behaviour the
+	// workload calibration relies on.
+	c := New(Config{Size: 4096, LineSize: 64, Assoc: 4})
+	span := 4 * 4096
+	for off := 0; off < span; off += 8 {
+		c.Access(mem.Addr(off), false)
+	}
+	wantMisses := uint64(span / 64)
+	if c.Stats.Misses != wantMisses {
+		t.Fatalf("streaming misses = %d, want %d", c.Stats.Misses, wantMisses)
+	}
+	wantAccesses := uint64(span / 8)
+	if c.Stats.Accesses() != wantAccesses {
+		t.Fatalf("accesses = %d, want %d", c.Stats.Accesses(), wantAccesses)
+	}
+}
+
+func TestWorkingSetFitsNoSteadyStateMisses(t *testing.T) {
+	// A working set half the cache size only cold-misses.
+	c := New(Config{Size: 8192, LineSize: 64, Assoc: 4})
+	for pass := 0; pass < 10; pass++ {
+		for off := 0; off < 4096; off += 8 {
+			c.Access(mem.Addr(off), false)
+		}
+	}
+	if want := uint64(4096 / 64); c.Stats.Misses != want {
+		t.Fatalf("misses = %d, want only %d cold misses", c.Stats.Misses, want)
+	}
+}
+
+func TestDirectMapped(t *testing.T) {
+	c := New(Config{Size: 256, LineSize: 64, Assoc: 1}) // 4 sets
+	a, b := mem.Addr(0), mem.Addr(4*64)                 // same set
+	c.Access(a, false)
+	c.Access(b, false)
+	if c.Probe(a) {
+		t.Fatal("direct-mapped cache kept two conflicting lines")
+	}
+	// Ping-pong: every access misses.
+	c.ResetStats()
+	for i := 0; i < 10; i++ {
+		c.Access(a, false)
+		c.Access(b, false)
+	}
+	if c.Stats.Misses != 20 {
+		t.Fatalf("conflict misses = %d, want 20", c.Stats.Misses)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := New(Config{Size: 512, LineSize: 64, Assoc: 8}) // one set
+	// 8 distinct lines all fit regardless of address bits.
+	for i := 0; i < 8; i++ {
+		c.Access(mem.Addr(i*0x10000), false)
+	}
+	for i := 0; i < 8; i++ {
+		if !c.Probe(mem.Addr(i * 0x10000)) {
+			t.Fatalf("line %d evicted from fully associative cache", i)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := small()
+	c.Access(0, false)
+	c.ResetStats()
+	if c.Stats != (Stats{}) {
+		t.Fatal("ResetStats left counts")
+	}
+	if c.Access(0, false) {
+		t.Fatal("ResetStats flushed contents")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Fatal("zero-access miss ratio not 0")
+	}
+	s = Stats{Reads: 6, Writes: 2, Misses: 2, Hits: 6}
+	if got := s.MissRatio(); got != 0.25 {
+		t.Fatalf("MissRatio = %v, want 0.25", got)
+	}
+}
+
+// Property: the cache never holds more distinct lines than its capacity,
+// and hits+misses always equals accesses.
+func TestCapacityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{Size: 1024, LineSize: 64, Assoc: 2})
+		for i := 0; i < 500; i++ {
+			c.Access(mem.Addr(rng.Intn(1<<16)), rng.Intn(2) == 0)
+		}
+		return c.Resident() <= 16 && c.Stats.Hits+c.Stats.Misses == c.Stats.Accesses()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Access(a) twice in a row is always hit the second time.
+func TestImmediateRehitProperty(t *testing.T) {
+	c := New(Config{Size: 1024, LineSize: 64, Assoc: 2})
+	f := func(a uint32) bool {
+		c.Access(mem.Addr(a), false)
+		return !c.Access(mem.Addr(a), false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The simulator against a brute-force reference model: per-set LRU lists.
+func TestAgainstReferenceLRU(t *testing.T) {
+	cfg := Config{Size: 2048, LineSize: 64, Assoc: 4}
+	c := New(cfg)
+	sets := cfg.Size / cfg.LineSize / cfg.Assoc
+	model := make([][]uint64, sets) // each set: MRU-first list of tags
+
+	rng := rand.New(rand.NewSource(555))
+	for i := 0; i < 20000; i++ {
+		a := mem.Addr(rng.Intn(1 << 14))
+		line := uint64(a) / 64
+		set := int(line) % sets
+
+		// reference model
+		wantMiss := true
+		for j, tag := range model[set] {
+			if tag == line {
+				wantMiss = false
+				copy(model[set][1:j+1], model[set][:j])
+				model[set][0] = line
+				break
+			}
+		}
+		if wantMiss {
+			if len(model[set]) < cfg.Assoc {
+				model[set] = append([]uint64{line}, model[set]...)
+			} else {
+				copy(model[set][1:], model[set][:cfg.Assoc-1])
+				model[set][0] = line
+			}
+		}
+
+		if gotMiss := c.Access(a, false); gotMiss != wantMiss {
+			t.Fatalf("ref %d (addr %#x): miss=%v, reference says %v", i, uint64(a), gotMiss, wantMiss)
+		}
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr(i*8), false)
+	}
+}
+
+func BenchmarkAccessHot(b *testing.B) {
+	c := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr((i%512)*8), false)
+	}
+}

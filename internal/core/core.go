@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: two techniques
+// that use hardware performance-monitor support to attribute cache misses
+// to source-level data structures.
+//
+//   - Sampler (§2.1) counts a sample of cache misses per program object by
+//     taking an interrupt every K misses and resolving the hardware's
+//     last-miss-address register through the object map.
+//   - Search (§2.2) performs an n-way search through the address space
+//     using region cache-miss counters with base/bounds registers, driven
+//     by a priority queue of regions ranked by their share of total misses.
+//
+// Both run as interrupt handlers *inside* the simulated machine, so their
+// cycle cost and cache perturbation are part of the measurement, as in the
+// paper's evaluation.
+package core
+
+import (
+	"sort"
+
+	"membottle/internal/machine"
+	"membottle/internal/objmap"
+)
+
+// Estimate is one row of a profiler's result: an object and its estimated
+// share of all cache misses.
+type Estimate struct {
+	Object *objmap.Object
+	// Pct is the estimated percentage (0..100) of all cache misses caused
+	// by references to Object.
+	Pct float64
+	// Samples is the evidence behind the estimate: sampled misses for the
+	// sampler, measurement intervals for the search.
+	Samples uint64
+}
+
+// Profiler is the common interface of the two techniques.
+type Profiler interface {
+	// Install attaches the profiler to a machine: allocates its shadow
+	// data, programs the PMU, and registers interrupt handlers.
+	Install(m *machine.Machine, om *objmap.Map) error
+	// Estimates returns the ranked per-object results collected so far,
+	// highest percentage first. Objects below MinReportPct are omitted.
+	Estimates() []Estimate
+	// Done reports whether the technique has finished (the search
+	// terminates; the sampler never does).
+	Done() bool
+}
+
+// MinReportPct is the reporting floor used in the paper's tables:
+// "excluding objects causing less than 0.01% of the total misses".
+const MinReportPct = 0.01
+
+// sortEstimates orders estimates by percentage (descending), breaking ties
+// by object ID for determinism.
+func sortEstimates(es []Estimate) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Pct != es[j].Pct {
+			return es[i].Pct > es[j].Pct
+		}
+		return es[i].Object.ID < es[j].Object.ID
+	})
+}
+
+// AggregateByName merges estimates whose objects share a name, summing
+// their percentages and sample counts. This implements the paper's §5
+// proposal of "aggregating data for all instances of the same local
+// variable, and for related blocks of dynamically allocated memory":
+// stack objects from different activations of a function share a
+// "fn:local" name, and heap blocks allocated through a tagged site share
+// the site name.
+func AggregateByName(es []Estimate) []Estimate {
+	byName := make(map[string]*Estimate)
+	order := make([]string, 0, len(es))
+	for _, e := range es {
+		if agg, ok := byName[e.Object.Name]; ok {
+			agg.Pct += e.Pct
+			agg.Samples += e.Samples
+			continue
+		}
+		cp := e
+		byName[e.Object.Name] = &cp
+		order = append(order, e.Object.Name)
+	}
+	out := make([]Estimate, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sortEstimates(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/pmu"
+)
+
+// --- AggregateByName -----------------------------------------------------
+
+func TestAggregateByName(t *testing.T) {
+	a1 := &objmap.Object{ID: 0, Name: "rec:node"}
+	a2 := &objmap.Object{ID: 1, Name: "rec:node"}
+	b := &objmap.Object{ID: 2, Name: "other"}
+	es := []Estimate{
+		{Object: a1, Pct: 10, Samples: 100},
+		{Object: b, Pct: 15, Samples: 150},
+		{Object: a2, Pct: 8, Samples: 80},
+	}
+	agg := AggregateByName(es)
+	if len(agg) != 2 {
+		t.Fatalf("aggregated to %d rows", len(agg))
+	}
+	if agg[0].Object.Name != "rec:node" || agg[0].Pct != 18 || agg[0].Samples != 180 {
+		t.Fatalf("aggregate row = %+v", agg[0])
+	}
+	if agg[1].Object.Name != "other" || agg[1].Pct != 15 {
+		t.Fatalf("passthrough row = %+v", agg[1])
+	}
+}
+
+func TestAggregateByNameEmpty(t *testing.T) {
+	if got := AggregateByName(nil); len(got) != 0 {
+		t.Fatalf("AggregateByName(nil) = %v", got)
+	}
+}
+
+// --- stack-variable sampling (paper §5) -----------------------------------
+
+// stackWorkload repeatedly calls a "function" whose frame holds a hot
+// local buffer, interleaved with streaming over a global. Two activation
+// depths alternate so multiple instances of the same local exist.
+type stackWorkload struct {
+	global mem.Addr
+	step   int
+}
+
+func (w *stackWorkload) Name() string { return "stackwl" }
+func (w *stackWorkload) Setup(m *machine.Machine) {
+	w.global = m.Space.MustDefineGlobal("G", 256<<10)
+}
+
+func (w *stackWorkload) Step(m *machine.Machine) {
+	w.step++
+	base, err := m.PushFrame("work", 32<<10)
+	if err != nil {
+		panic(err)
+	}
+	// Touch the local buffer heavily: fresh frame, cold lines.
+	for off := uint64(0); off < 32<<10; off += 8 {
+		m.Store(base + mem.Addr(off))
+	}
+	// Nested activation every other step.
+	if w.step%2 == 0 {
+		b2, err := m.PushFrame("work", 32<<10)
+		if err != nil {
+			panic(err)
+		}
+		m.LoadRange(b2, 32<<10, 8, 0)
+		if err := m.PopFrame(); err != nil {
+			panic(err)
+		}
+	}
+	if err := m.PopFrame(); err != nil {
+		panic(err)
+	}
+	// Stream the global (evicts the stack lines between calls).
+	m.LoadRange(w.global, 256<<10, 8, 1)
+}
+
+func TestSamplerAttributesStackVariables(t *testing.T) {
+	space := mem.NewSpace()
+	c := cache.New(cache.Config{Size: 64 << 10, LineSize: 64, Assoc: 4})
+	m := machine.New(space, c, pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	om.RegisterFrameLayout("work", []objmap.LocalVar{{Name: "buf", Offset: 0, Size: 32 << 10}})
+
+	w := &stackWorkload{}
+	w.Setup(m)
+	om.SyncGlobals(space)
+
+	s := NewSampler(SamplerConfig{Interval: 500, Mode: IntervalPrime})
+	if err := s.Install(m, om); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(w, 10_000_000)
+
+	// Raw estimates contain many instances of work:buf; aggregation
+	// merges them into one row.
+	raw := s.Estimates()
+	agg := AggregateByName(raw)
+	var bufPct, gPct float64
+	for _, e := range agg {
+		switch e.Object.Name {
+		case "work:buf":
+			bufPct = e.Pct
+		case "G":
+			gPct = e.Pct
+		}
+	}
+	if bufPct == 0 {
+		t.Fatalf("no samples attributed to the stack local: %v", agg)
+	}
+	if gPct == 0 {
+		t.Fatal("no samples attributed to the global")
+	}
+	// Traffic is ~48KB stack vs 256KB global per step, all missing in a
+	// 64KB cache: the local should get a meaningful share (> 5%).
+	if bufPct < 5 {
+		t.Errorf("work:buf at %.1f%%, expected a substantial share", bufPct)
+	}
+	t.Logf("work:buf %.1f%%, G %.1f%% (raw rows: %d, aggregated: %d)", bufPct, gPct, len(raw), len(agg))
+}
+
+// --- auto-tuned sampling interval (paper §5) -------------------------------
+
+func TestSamplerAutoTuneConvergesToOverheadTarget(t *testing.T) {
+	run := func(target float64) (float64, uint64) {
+		space := mem.NewSpace()
+		c := cache.New(cache.Config{Size: 64 << 10, LineSize: 64, Assoc: 4})
+		m := machine.New(space, c, pmu.New(0), machine.DefaultCosts())
+		om := objmap.New(space)
+		om.BindSpace(space)
+		w := &stackWorkload{}
+		w.Setup(m)
+		om.SyncGlobals(space)
+		s := NewSampler(SamplerConfig{
+			Interval:          50_000, // far too coarse; tuner must tighten it
+			TargetOverheadPct: target,
+		})
+		if err := s.Install(m, om); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(w, 40_000_000)
+		observed := 100 * float64(m.HandlerCycles) / float64(m.Cycles)
+		return observed, s.Interval()
+	}
+
+	observed, interval := run(2.0)
+	if math.Abs(observed-2.0) > 1.2 {
+		t.Errorf("auto-tune target 2%%: observed %.2f%% (interval %d)", observed, interval)
+	}
+	if interval >= 50_000 {
+		t.Errorf("interval never tightened from %d", interval)
+	}
+
+	// A lower target must yield a lower observed overhead.
+	low, _ := run(0.3)
+	if low >= observed {
+		t.Errorf("target 0.3%% observed %.2f%%, not below target-2%% run (%.2f%%)", low, observed)
+	}
+}
+
+func TestSamplerAutoTuneDisabledByDefault(t *testing.T) {
+	space := mem.NewSpace()
+	c := cache.New(cache.Config{Size: 64 << 10, LineSize: 64, Assoc: 4})
+	m := machine.New(space, c, pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w := &stackWorkload{}
+	w.Setup(m)
+	om.SyncGlobals(space)
+	s := NewSampler(SamplerConfig{Interval: 1000})
+	if err := s.Install(m, om); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(w, 5_000_000)
+	if s.Interval() != 1000 {
+		t.Fatalf("interval changed to %d without auto-tune", s.Interval())
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "membottle/internal/mem"
+
+// IterationRecord is one search iteration's measurement snapshot, recorded
+// when SearchConfig.RecordHistory is set. The sequence of records is the
+// machine-readable version of the paper's Figure 1: it shows how the
+// search divides the address space and narrows onto the regions causing
+// the most misses.
+type IterationRecord struct {
+	// Iteration is the 1-based search iteration number.
+	Iteration int
+	// IntervalCycles is the measurement interval that produced the counts.
+	IntervalCycles uint64
+	// TotalMisses observed in the interval (the global counter's delta).
+	TotalMisses uint64
+	// Regions measured in this iteration, in counter order.
+	Regions []RegionSnapshot
+}
+
+// RegionSnapshot is one measured region within an iteration.
+type RegionSnapshot struct {
+	Lo, Hi mem.Addr
+	// Pct is the region's share of the interval's misses (0..100).
+	Pct float64
+	// Object names the region's single object, empty for multi-object
+	// regions still being refined.
+	Object string
+}
+
+// snapshot records the just-measured counts when history is enabled.
+func (s *Search) snapshot(counts []uint64, delta uint64) {
+	if !s.cfg.RecordHistory {
+		return
+	}
+	rec := IterationRecord{
+		Iteration:      s.iterations,
+		IntervalCycles: s.interval,
+		TotalMisses:    delta,
+		Regions:        make([]RegionSnapshot, 0, len(s.measuring)),
+	}
+	for i, r := range s.measuring {
+		snap := RegionSnapshot{Lo: r.Lo, Hi: r.Hi}
+		if delta > 0 && i < len(counts) {
+			snap.Pct = 100 * float64(counts[i]) / float64(delta)
+		}
+		if r.Obj != nil {
+			snap.Object = r.Obj.Name
+		}
+		rec.Regions = append(rec.Regions, snap)
+	}
+	s.history = append(s.history, rec)
+}
+
+// History returns the recorded iteration snapshots (empty unless
+// RecordHistory was set).
+func (s *Search) History() []IterationRecord { return s.history }

@@ -1,0 +1,37 @@
+package core
+
+// NextPrime returns the smallest prime >= n. The paper recommends "basing
+// the sampling interval on prime numbers" so that the interval cannot
+// stay synchronized with an application's periodic memory access pattern
+// (their example: 50,000 resonated with tomcatv; the nearby prime 50,111
+// did not).
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !isPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for f := uint64(5); f*f <= n; f += 6 {
+		if n%f == 0 || n%(f+2) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+// Package experiments reproduces the paper's evaluation: Table 1
+// (sampling vs. search accuracy), Table 2 (two-way vs. ten-way search),
+// Figure 2 (greedy-search ablation), Figure 3 (cache perturbation),
+// Figure 4 (instrumentation cost), Figure 5 (applu phases), the §3.1
+// sampling-resonance study, and the design ablations listed in DESIGN.md.
+//
+// Every experiment builds membottle Systems, runs a workload for a fixed
+// number of *application* instructions, and compares profiler estimates
+// against exact ground truth. Quick mode scales the paper's run lengths
+// and sampling interval down (documented in EXPERIMENTS.md); Paper mode
+// uses the paper's literal 1-in-50,000 sampling at correspondingly longer
+// budgets.
+package experiments
+
+import (
+	"membottle/internal/core"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Apps to evaluate; defaults to the paper's seven SPEC95 workloads.
+	Apps []string
+	// Budget is the per-run application instruction budget; 0 selects a
+	// per-app default sized so every technique sees enough misses.
+	Budget uint64
+	// SampleInterval is the misses-between-samples for Table 1; 0 selects
+	// a per-app default (2,000 for the dense-miss FP codes, 200 for the
+	// sparse-miss compress/ijpeg; 50,000 in Paper mode, as in the paper).
+	SampleInterval uint64
+	// SampleMode is the interval mode for Table 1 sampling. The paper's
+	// Table 1 used a fixed interval (which is what exposed the tomcatv
+	// resonance), so Fixed is the default.
+	SampleMode core.IntervalMode
+	// SearchN is the number of region counters; default 10.
+	SearchN int
+	// SearchInterval is the initial search iteration length in cycles;
+	// default 8,000,000.
+	SearchInterval uint64
+	// Seed for randomized components.
+	Seed int64
+	// Paper selects paper-fidelity parameters: 1-in-50,000 sampling and
+	// 10x budgets. Runs take roughly ten times longer.
+	Paper bool
+	// Parallel bounds the number of concurrent simulation runs across
+	// applications (each run itself is single-threaded and
+	// deterministic). 0 means GOMAXPROCS.
+	Parallel int
+	// Serial forces one run at a time (equivalent to Parallel=1).
+	Serial bool
+}
+
+var defaultBudgets = map[string]uint64{
+	"tomcatv":  130_000_000,
+	"swim":     130_000_000,
+	"su2cor":   170_000_000,
+	"mgrid":    130_000_000,
+	"applu":    130_000_000,
+	"compress": 150_000_000,
+	"ijpeg":    300_000_000,
+	"figure2":  130_000_000,
+}
+
+// sparseMissApps have so much computation per reference that the quick
+// preset lowers their sampling interval to keep a usable sample count.
+var sparseMissApps = map[string]bool{"compress": true, "ijpeg": true}
+
+// PaperApps is the paper's Table 1 application order.
+func PaperApps() []string {
+	return []string{"tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg"}
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Apps) == 0 {
+		o.Apps = PaperApps()
+	}
+	if o.SearchN == 0 {
+		o.SearchN = 10
+	}
+	if o.SearchInterval == 0 {
+		o.SearchInterval = 8_000_000
+	}
+	return o
+}
+
+// budgetFor returns the application instruction budget for one app.
+func (o Options) budgetFor(app string) uint64 {
+	if o.Budget != 0 {
+		return o.Budget
+	}
+	b, ok := defaultBudgets[app]
+	if !ok {
+		b = 130_000_000
+	}
+	if o.Paper {
+		b *= 10
+	}
+	return b
+}
+
+// sampleIntervalFor returns the sampling interval for one app.
+func (o Options) sampleIntervalFor(app string) uint64 {
+	if o.SampleInterval != 0 {
+		return o.SampleInterval
+	}
+	if o.Paper {
+		return 50_000
+	}
+	if sparseMissApps[app] {
+		return 200
+	}
+	return 2_000
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Every simulation run is single-threaded and deterministic, so the
+// experiment harness parallelizes across runs: each application's
+// table block or perturbation sweep executes on its own goroutine, and
+// results are reassembled in the paper's application order. Parallel and
+// serial execution produce byte-identical tables.
+
+// parallelism resolves the worker count from Options.
+func (o Options) parallelism() int {
+	if o.Serial {
+		return 1
+	}
+	n := o.Parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEachApp runs fn for every app with bounded parallelism, preserving
+// order in the results. The first error wins.
+func forEachApp[T any](opt Options, apps []string, fn func(app string) (T, error)) ([]T, error) {
+	out := make([]T, len(apps))
+	errs := make([]error, len(apps))
+	sem := make(chan struct{}, opt.parallelism())
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(app)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"membottle"
+	"membottle/internal/core"
+	"membottle/internal/truth"
+)
+
+// runPlain executes a workload uninstrumented and returns ground truth
+// plus the run's overhead-free statistics.
+func runPlain(app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return nil, membottle.Overhead{}, err
+	}
+	sys.Run(budget)
+	return sys.Truth, sys.Overhead(), nil
+}
+
+// runSampler executes a workload under the sampling profiler.
+func runSampler(app string, budget uint64, cfg core.SamplerConfig) (*core.Sampler, *membottle.System, error) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return nil, nil, err
+	}
+	s := core.NewSampler(cfg)
+	if err := sys.Attach(s); err != nil {
+		return nil, nil, err
+	}
+	sys.Run(budget)
+	return s, sys, nil
+}
+
+// runSearch executes a workload under the n-way search profiler.
+func runSearch(app string, budget uint64, cfg core.SearchConfig) (*core.Search, *membottle.System, error) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return nil, nil, err
+	}
+	s := core.NewSearch(cfg)
+	if err := sys.Attach(s); err != nil {
+		return nil, nil, err
+	}
+	sys.Run(budget)
+	return s, sys, nil
+}
+
+// estPct returns the percentage estimated for the named object, 0 if the
+// technique did not report it.
+func estPct(es []core.Estimate, name string) float64 {
+	for _, e := range es {
+		if e.Object.Name == name {
+			return e.Pct
+		}
+	}
+	return 0
+}
+
+// estRank returns the 1-based rank of the named object in the estimates.
+func estRank(es []core.Estimate, name string) int {
+	for i, e := range es {
+		if e.Object.Name == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// checkApp validates an app name early, for friendlier CLI errors.
+func checkApp(app string) error {
+	for _, n := range membottle.Workloads() {
+		if n == app {
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: unknown application %q (have %v)", app, membottle.Workloads())
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"sort"
+
+	"membottle"
+	"membottle/internal/core"
+	"membottle/internal/report"
+	"membottle/internal/truth"
+)
+
+// Table1Row is one object's line in Table 1: actual vs. sampling vs.
+// ten-way search rank and percentage.
+type Table1Row struct {
+	Object     string
+	ActualRank int
+	ActualPct  float64
+	SampleRank int
+	SamplePct  float64
+	SearchRank int
+	SearchPct  float64
+}
+
+// AppResult is one application's Table 1 block plus run diagnostics.
+type AppResult struct {
+	App  string
+	Rows []Table1Row
+
+	// Diagnostics.
+	SampleCount      uint64
+	SampleInterval   uint64
+	SearchIterations int
+	SearchDone       bool
+	SearchConverged  bool
+	SampleOverhead   membottle.Overhead
+	SearchOverhead   membottle.Overhead
+	PlainOverhead    membottle.Overhead
+}
+
+// Table1App reproduces one application's Table 1 block: an uninstrumented
+// ground-truth run, a sampling run, and a ten-way search run over the
+// same number of application instructions.
+func Table1App(app string, opt Options) (AppResult, error) {
+	opt = opt.withDefaults()
+	if err := checkApp(app); err != nil {
+		return AppResult{}, err
+	}
+	budget := opt.budgetFor(app)
+
+	actual, plainOv, err := runPlain(app, budget)
+	if err != nil {
+		return AppResult{}, err
+	}
+
+	interval := opt.sampleIntervalFor(app)
+	sampler, sampleSys, err := runSampler(app, budget, core.SamplerConfig{
+		Interval: interval,
+		Mode:     opt.SampleMode,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return AppResult{}, err
+	}
+
+	search, searchSys, err := runSearch(app, budget, core.SearchConfig{
+		N:        opt.SearchN,
+		Interval: opt.SearchInterval,
+	})
+	if err != nil {
+		return AppResult{}, err
+	}
+
+	res := AppResult{
+		App:              app,
+		SampleCount:      sampler.Samples(),
+		SampleInterval:   sampler.Interval(),
+		SearchIterations: search.Iterations(),
+		SearchDone:       search.Done(),
+		SearchConverged:  search.Converged(),
+		SampleOverhead:   sampleSys.Overhead(),
+		SearchOverhead:   searchSys.Overhead(),
+		PlainOverhead:    plainOv,
+	}
+	res.Rows = buildRows(actual, sampler.Estimates(), search.Estimates(), 8)
+	return res, nil
+}
+
+// Table1 runs Table1App over all requested applications, in parallel
+// (see Options.Parallel); results keep the paper's application order.
+func Table1(opt Options) ([]AppResult, error) {
+	opt = opt.withDefaults()
+	return forEachApp(opt, opt.Apps, func(app string) (AppResult, error) {
+		return Table1App(app, opt)
+	})
+}
+
+// buildRows merges ground truth with up to two techniques' estimates,
+// keeping objects in the top maxRows of the actual ranking or reported by
+// a technique, ordered by actual misses (the paper's presentation).
+func buildRows(actual *truth.Counter, a, b []core.Estimate, maxRows int) []Table1Row {
+	ranked := actual.Ranked()
+	include := map[string]bool{}
+	for i, r := range ranked {
+		if i < maxRows && r.Pct >= core.MinReportPct {
+			include[r.Object.Name] = true
+		}
+	}
+	for _, e := range a {
+		include[e.Object.Name] = true
+	}
+	for _, e := range b {
+		include[e.Object.Name] = true
+	}
+
+	var rows []Table1Row
+	for i, r := range ranked {
+		name := r.Object.Name
+		if !include[name] {
+			continue
+		}
+		rows = append(rows, Table1Row{
+			Object:     name,
+			ActualRank: i + 1,
+			ActualPct:  r.Pct,
+			SampleRank: estRank(a, name),
+			SamplePct:  estPct(a, name),
+			SearchRank: estRank(b, name),
+			SearchPct:  estPct(b, name),
+		})
+	}
+	// Cap at a table-friendly size, keeping the top-actual rows.
+	if len(rows) > maxRows+4 {
+		rows = rows[:maxRows+4]
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ActualRank < rows[j].ActualRank })
+	return rows
+}
+
+// RenderTable1 renders results in the paper's Table 1 layout.
+func RenderTable1(results []AppResult) *report.Table {
+	t := &report.Table{
+		Title:   "Table 1: Results for Sampling and Search",
+		Headers: []string{"Application", "Variable/Memory Block", "Actual Rank", "Actual %", "Sample Rank", "Sample %", "Search Rank", "Search %"},
+	}
+	for _, r := range results {
+		for i, row := range r.Rows {
+			app := ""
+			if i == 0 {
+				app = r.App
+			}
+			samRank, samPct, seaRank, seaPct := "", "", "", ""
+			if row.SampleRank != 0 {
+				samRank, samPct = report.Rank(row.SampleRank), report.Pct(row.SamplePct)
+			}
+			if row.SearchRank != 0 {
+				seaRank, seaPct = report.Rank(row.SearchRank), report.Pct(row.SearchPct)
+			}
+			t.AddRow(app, row.Object,
+				report.Rank(row.ActualRank), report.Pct(row.ActualPct),
+				samRank, samPct, seaRank, seaPct)
+		}
+	}
+	return t
+}

@@ -1,0 +1,243 @@
+// Package machine implements the virtual processor of the paper's
+// simulation study. Load and store instructions are fed through the
+// simulated cache (the role ATOM instrumentation plays in the paper), a
+// virtual cycle counter models execution time without pipeline detail
+// ("the cycle counts ... are meant to model RISC processors in general"),
+// and the performance-monitor unit can raise interrupts that run
+// instrumentation handlers *inside* the simulation, so their cost and
+// cache perturbation are observable.
+package machine
+
+import (
+	"membottle/internal/cache"
+	"membottle/internal/mem"
+	"membottle/internal/pmu"
+)
+
+// CostModel holds the virtual-cycle charges for the simulated processor.
+type CostModel struct {
+	// HitCycles is charged for every memory reference (the base cost of
+	// the load/store instruction itself).
+	HitCycles uint64
+	// MissCycles is charged additionally when a reference misses.
+	MissCycles uint64
+	// ComputeCPI is the cycles charged per non-memory instruction.
+	ComputeCPI uint64
+	// InterruptCycles is the operating-system cost of delivering one
+	// interrupt signal to the instrumentation. The paper measured
+	// approximately 50 microseconds (8,800 cycles) per interrupt on a
+	// 175 MHz SGI Octane under Irix.
+	InterruptCycles uint64
+	// MallocCycles approximates the library cost of one allocation call.
+	MallocCycles uint64
+}
+
+// DefaultCosts mirrors the paper's setup: a generic RISC processor with
+// the Octane-derived interrupt delivery cost.
+func DefaultCosts() CostModel {
+	return CostModel{
+		HitCycles:       2,
+		MissCycles:      70,
+		ComputeCPI:      1,
+		InterruptCycles: 8800,
+		MallocCycles:    100,
+	}
+}
+
+// Workload is a simulated application: it declares its memory objects in
+// Setup and issues references in bounded Step chunks until the machine's
+// instruction budget expires.
+type Workload interface {
+	// Name identifies the workload (e.g. "tomcatv").
+	Name() string
+	// Setup defines globals and performs initial allocations.
+	Setup(m *Machine)
+	// Step executes one bounded chunk (for example, one sweep of one
+	// array). The machine calls Step repeatedly until the application
+	// instruction budget is exhausted, so workloads must be cyclic.
+	Step(m *Machine)
+}
+
+// Machine is one simulated processor executing one workload.
+type Machine struct {
+	Space *mem.Space
+	Cache *cache.Cache
+	PMU   *pmu.PMU
+	Cost  CostModel
+
+	// Cycles is the virtual cycle counter (application + instrumentation).
+	Cycles uint64
+	// Insts counts all simulated instructions.
+	Insts uint64
+	// AppInsts counts only application instructions; runs are compared at
+	// equal AppInsts, as in the paper ("the applications were allowed to
+	// execute for the same number of application instructions").
+	AppInsts uint64
+	// HandlerCycles is the portion of Cycles spent delivering and running
+	// interrupt handlers.
+	HandlerCycles uint64
+	// Interrupts counts delivered interrupts.
+	Interrupts uint64
+
+	// MissHandler runs on miss-overflow interrupts (sampling).
+	MissHandler func(*Machine)
+	// TimerHandler runs on cycle-timer interrupts (n-way search).
+	TimerHandler func(*Machine)
+	// OnMiss, if set, observes every cache miss with exact (uncharged)
+	// cost; the experiment harnesses use it for ground-truth accounting.
+	OnMiss func(a mem.Addr, write bool, inHandler bool)
+	// OnRef, if set, observes every application memory reference (not
+	// instrumentation-handler references) at zero simulated cost. Used by
+	// the trace recorder.
+	OnRef func(a mem.Addr, write bool)
+
+	inHandler bool
+}
+
+// New assembles a machine from its parts.
+func New(space *mem.Space, c *cache.Cache, p *pmu.PMU, cost CostModel) *Machine {
+	return &Machine{Space: space, Cache: c, PMU: p, Cost: cost}
+}
+
+// InHandler reports whether the machine is currently executing
+// instrumentation handler code.
+func (m *Machine) InHandler() bool { return m.inHandler }
+
+// Load simulates a read of address a.
+func (m *Machine) Load(a mem.Addr) { m.access(a, false) }
+
+// Store simulates a write of address a.
+func (m *Machine) Store(a mem.Addr) { m.access(a, true) }
+
+func (m *Machine) access(a mem.Addr, write bool) {
+	m.Insts++
+	if !m.inHandler {
+		m.AppInsts++
+		if m.OnRef != nil {
+			m.OnRef(a, write)
+		}
+	}
+	m.Cycles += m.Cost.HitCycles
+	if m.Cache.Access(a, write) {
+		m.Cycles += m.Cost.MissCycles
+		if m.OnMiss != nil {
+			m.OnMiss(a, write, m.inHandler)
+		}
+		m.PMU.RecordMiss(a)
+	}
+	m.PMU.TickCycles(m.Cycles)
+	if !m.inHandler && m.PMU.HasPending() {
+		m.deliver()
+	}
+}
+
+// Compute simulates n non-memory instructions.
+func (m *Machine) Compute(n uint64) {
+	m.Insts += n
+	if !m.inHandler {
+		m.AppInsts += n
+	}
+	m.Cycles += n * m.Cost.ComputeCPI
+	m.PMU.TickCycles(m.Cycles)
+	if !m.inHandler && m.PMU.HasPending() {
+		m.deliver()
+	}
+}
+
+// deliver drains pending interrupts, charging the OS delivery cost and the
+// handler's own execution (memory references and compute) to the virtual
+// clock. Handler references go through the cache, perturbing it exactly as
+// the paper's Figure 3 measures.
+func (m *Machine) deliver() {
+	for {
+		kind := m.PMU.Pending()
+		if kind == pmu.IrqNone {
+			return
+		}
+		m.Interrupts++
+		start := m.Cycles
+		m.Cycles += m.Cost.InterruptCycles
+		m.PMU.TickCycles(m.Cycles)
+		m.inHandler = true
+		switch kind {
+		case pmu.IrqMissOverflow:
+			if m.MissHandler != nil {
+				m.MissHandler(m)
+			}
+		case pmu.IrqTimer:
+			if m.TimerHandler != nil {
+				m.TimerHandler(m)
+			}
+		}
+		m.inHandler = false
+		m.HandlerCycles += m.Cycles - start
+	}
+}
+
+// Malloc allocates a simulated heap block, charging the library cost.
+func (m *Machine) Malloc(size uint64) (mem.Addr, error) {
+	m.Compute(m.Cost.MallocCycles)
+	return m.Space.Malloc(size)
+}
+
+// MustMalloc is Malloc for setup code.
+func (m *Machine) MustMalloc(size uint64) mem.Addr {
+	a, err := m.Malloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases a simulated heap block.
+func (m *Machine) Free(a mem.Addr) error {
+	m.Compute(m.Cost.MallocCycles)
+	return m.Space.Free(a)
+}
+
+// PushFrame simulates a function-call prologue: a stack frame of the
+// given size is allocated for fn (stack-variable support, the paper's §5
+// future work).
+func (m *Machine) PushFrame(fn string, size uint64) (mem.Addr, error) {
+	m.Compute(8)
+	return m.Space.PushFrame(fn, size)
+}
+
+// PopFrame simulates the matching epilogue.
+func (m *Machine) PopFrame() error {
+	m.Compute(4)
+	return m.Space.PopFrame()
+}
+
+// Run executes the workload until at least appInstBudget application
+// instructions have been simulated. Setup must have been called first.
+// The overshoot past the budget is bounded by one Step and is identical
+// across instrumented and uninstrumented runs of the same workload, since
+// handlers never change the application's instruction stream.
+func (m *Machine) Run(w Workload, appInstBudget uint64) {
+	for m.AppInsts < appInstBudget {
+		w.Step(m)
+	}
+}
+
+// LoadRange streams reads over [base, base+bytes) with the given stride,
+// a helper for array-sweep workload kernels. computePer is the number of
+// compute instructions charged per element.
+func (m *Machine) LoadRange(base mem.Addr, bytes, stride, computePer uint64) {
+	for off := uint64(0); off < bytes; off += stride {
+		m.access(base+mem.Addr(off), false)
+		if computePer > 0 {
+			m.Compute(computePer)
+		}
+	}
+}
+
+// StoreRange streams writes over [base, base+bytes) with the given stride.
+func (m *Machine) StoreRange(base mem.Addr, bytes, stride, computePer uint64) {
+	for off := uint64(0); off < bytes; off += stride {
+		m.access(base+mem.Addr(off), true)
+		if computePer > 0 {
+			m.Compute(computePer)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package machine
+
+import (
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/mem"
+	"membottle/internal/pmu"
+)
+
+func newTestMachine(nCounters int) *Machine {
+	space := mem.NewSpace()
+	c := cache.New(cache.Config{Size: 4096, LineSize: 64, Assoc: 2})
+	p := pmu.New(nCounters)
+	return New(space, c, p, DefaultCosts())
+}
+
+func TestLoadStoreCycleAccounting(t *testing.T) {
+	m := newTestMachine(0)
+	m.Load(0x1000) // cold miss: hit + miss cycles
+	want := m.Cost.HitCycles + m.Cost.MissCycles
+	if m.Cycles != want {
+		t.Fatalf("cycles after cold miss = %d, want %d", m.Cycles, want)
+	}
+	m.Load(0x1000) // hit
+	want += m.Cost.HitCycles
+	if m.Cycles != want {
+		t.Fatalf("cycles after hit = %d, want %d", m.Cycles, want)
+	}
+	if m.Insts != 2 || m.AppInsts != 2 {
+		t.Fatalf("insts=%d appinsts=%d, want 2,2", m.Insts, m.AppInsts)
+	}
+}
+
+func TestComputeAccounting(t *testing.T) {
+	m := newTestMachine(0)
+	m.Compute(100)
+	if m.Cycles != 100*m.Cost.ComputeCPI {
+		t.Fatalf("cycles = %d", m.Cycles)
+	}
+	if m.Insts != 100 || m.AppInsts != 100 {
+		t.Fatalf("insts=%d appinsts=%d", m.Insts, m.AppInsts)
+	}
+}
+
+func TestPMUSeesMisses(t *testing.T) {
+	m := newTestMachine(1)
+	m.PMU.SetRegion(0, 0x1000, 0x2000)
+	m.Load(0x1000) // miss in region
+	m.Load(0x1000) // hit: not counted
+	m.Load(0x5000) // miss outside region
+	if got := m.PMU.ReadCounter(0); got != 1 {
+		t.Fatalf("region counter = %d, want 1", got)
+	}
+	if m.PMU.GlobalMisses != 2 {
+		t.Fatalf("global misses = %d, want 2", m.PMU.GlobalMisses)
+	}
+	if m.PMU.LastMissAddr != 0x5000 {
+		t.Fatalf("last miss addr = %#x", uint64(m.PMU.LastMissAddr))
+	}
+}
+
+func TestMissInterruptDelivery(t *testing.T) {
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(3)
+	var handlerRuns int
+	var sawAddr mem.Addr
+	m.MissHandler = func(mm *Machine) {
+		handlerRuns++
+		sawAddr = mm.PMU.LastMissAddr
+		if !mm.InHandler() {
+			t.Error("handler not marked in-handler")
+		}
+	}
+	// 3 cold misses on distinct lines trigger one interrupt.
+	m.Load(0x0000)
+	m.Load(0x0040)
+	if handlerRuns != 0 {
+		t.Fatal("handler ran early")
+	}
+	m.Load(0x0080)
+	if handlerRuns != 1 {
+		t.Fatalf("handler ran %d times, want 1", handlerRuns)
+	}
+	if sawAddr != 0x0080 {
+		t.Fatalf("handler saw last-miss %#x, want 0x80", uint64(sawAddr))
+	}
+	if m.Interrupts != 1 {
+		t.Fatalf("Interrupts = %d", m.Interrupts)
+	}
+	if m.InHandler() {
+		t.Fatal("machine stuck in-handler")
+	}
+}
+
+func TestInterruptCostCharged(t *testing.T) {
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(1)
+	handlerWork := uint64(500)
+	m.MissHandler = func(mm *Machine) { mm.Compute(handlerWork) }
+	m.Load(0)
+	want := m.Cost.HitCycles + m.Cost.MissCycles + m.Cost.InterruptCycles + handlerWork
+	if m.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", m.Cycles, want)
+	}
+	if m.HandlerCycles != m.Cost.InterruptCycles+handlerWork {
+		t.Fatalf("handler cycles = %d, want %d", m.HandlerCycles, m.Cost.InterruptCycles+handlerWork)
+	}
+}
+
+func TestHandlerInstructionsNotAppInstructions(t *testing.T) {
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(1)
+	m.MissHandler = func(mm *Machine) {
+		mm.Compute(100)
+		mm.Load(mem.ShadowBase)
+	}
+	m.Load(0)
+	if m.AppInsts != 1 {
+		t.Fatalf("AppInsts = %d, want 1 (handler work must not count)", m.AppInsts)
+	}
+	// The handler's own shadow-memory miss re-triggers the 1-miss overflow
+	// once (the second handler run hits in cache), so the handler body
+	// executes twice: 1 app instruction + 2*(100 compute + 1 load).
+	if m.Insts != 1+2*101 {
+		t.Fatalf("Insts = %d, want 203", m.Insts)
+	}
+}
+
+func TestHandlerMissesPerturbCache(t *testing.T) {
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(2)
+	m.MissHandler = func(mm *Machine) { mm.Load(mem.ShadowBase) }
+	m.Load(0x0000)
+	m.Load(0x0040)
+	// handler ran and cold-missed on shadow memory
+	if m.Cache.Stats.Misses != 3 {
+		t.Fatalf("total misses = %d, want 3 (2 app + 1 handler)", m.Cache.Stats.Misses)
+	}
+	// The handler's miss counts toward the PMU too (hardware counts
+	// everything), advancing the sampling countdown.
+	if m.PMU.GlobalMisses != 3 {
+		t.Fatalf("PMU global misses = %d, want 3", m.PMU.GlobalMisses)
+	}
+}
+
+func TestHandlerMissesCanChainInterrupts(t *testing.T) {
+	// If the handler itself causes enough misses to re-trigger the
+	// overflow, the next interrupt is delivered after the handler returns,
+	// not nested inside it.
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(1)
+	depth, maxDepth, runs := 0, 0, 0
+	m.MissHandler = func(mm *Machine) {
+		depth++
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		runs++
+		if runs <= 3 {
+			mm.Load(mem.ShadowBase + mem.Addr(runs*64)) // one fresh miss
+		}
+		depth--
+	}
+	m.Load(0)
+	if maxDepth != 1 {
+		t.Fatalf("handlers nested to depth %d", maxDepth)
+	}
+	if runs != 4 { // initial + 3 chained
+		t.Fatalf("handler ran %d times, want 4", runs)
+	}
+}
+
+func TestTimerInterruptDelivery(t *testing.T) {
+	m := newTestMachine(0)
+	fired := false
+	m.TimerHandler = func(mm *Machine) { fired = true }
+	m.PMU.SetTimer(m.Cycles + 50)
+	for i := 0; i < 100 && !fired; i++ {
+		m.Compute(10)
+	}
+	if !fired {
+		t.Fatal("timer handler never ran")
+	}
+}
+
+type fakeWorkload struct {
+	steps int
+	per   uint64
+}
+
+func (f *fakeWorkload) Name() string     { return "fake" }
+func (f *fakeWorkload) Setup(m *Machine) {}
+func (f *fakeWorkload) Step(m *Machine) {
+	f.steps++
+	m.Compute(f.per)
+}
+
+func TestRunBudget(t *testing.T) {
+	m := newTestMachine(0)
+	w := &fakeWorkload{per: 1000}
+	m.Run(w, 10_000)
+	if w.steps != 10 {
+		t.Fatalf("ran %d steps, want 10", w.steps)
+	}
+	if m.AppInsts != 10_000 {
+		t.Fatalf("AppInsts = %d", m.AppInsts)
+	}
+}
+
+func TestRunBudgetIdenticalWithInstrumentation(t *testing.T) {
+	// The app instruction stream must be identical with and without
+	// handlers: same steps, same app instructions.
+	plain := newTestMachine(0)
+	w1 := &fakeWorkload{per: 777}
+	plain.Run(w1, 50_000)
+
+	instr := newTestMachine(0)
+	instr.PMU.SetMissInterrupt(1)
+	instr.MissHandler = func(mm *Machine) { mm.Compute(10000) }
+	w2 := &fakeWorkload{per: 777}
+	instr.Run(w2, 50_000)
+
+	if w1.steps != w2.steps || plain.AppInsts != instr.AppInsts {
+		t.Fatalf("instrumented run diverged: steps %d vs %d, appinsts %d vs %d",
+			w1.steps, w2.steps, plain.AppInsts, instr.AppInsts)
+	}
+}
+
+func TestLoadRangeTouchesEveryLine(t *testing.T) {
+	m := newTestMachine(0)
+	m.LoadRange(0, 4096, 8, 0)
+	if want := uint64(4096 / 64); m.Cache.Stats.Misses != want {
+		t.Fatalf("misses = %d, want %d", m.Cache.Stats.Misses, want)
+	}
+	if m.AppInsts != 4096/8 {
+		t.Fatalf("insts = %d, want %d", m.AppInsts, 4096/8)
+	}
+}
+
+func TestStoreRangeWrites(t *testing.T) {
+	m := newTestMachine(0)
+	m.StoreRange(0, 1024, 8, 2)
+	if m.Cache.Stats.Writes != 1024/8 {
+		t.Fatalf("writes = %d", m.Cache.Stats.Writes)
+	}
+	// 128 stores + 128*2 compute
+	if m.AppInsts != 128+256 {
+		t.Fatalf("insts = %d", m.AppInsts)
+	}
+}
+
+func TestMallocChargesAndObserves(t *testing.T) {
+	m := newTestMachine(0)
+	var observed mem.Addr
+	m.Space.AllocObserver = func(base mem.Addr, size uint64) { observed = base }
+	a := m.MustMalloc(100)
+	if observed != a {
+		t.Fatal("alloc observer not notified via machine.Malloc")
+	}
+	if m.Cycles != m.Cost.MallocCycles*m.Cost.ComputeCPI {
+		t.Fatalf("malloc cost not charged: cycles=%d", m.Cycles)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnMissObserverSeesHandlerFlag(t *testing.T) {
+	m := newTestMachine(0)
+	m.PMU.SetMissInterrupt(1)
+	m.MissHandler = func(mm *Machine) { mm.Load(mem.ShadowBase) }
+	var appMisses, handlerMisses int
+	m.OnMiss = func(a mem.Addr, write, inHandler bool) {
+		if inHandler {
+			handlerMisses++
+		} else {
+			appMisses++
+		}
+	}
+	m.Load(0)
+	if appMisses != 1 || handlerMisses != 1 {
+		t.Fatalf("app=%d handler=%d, want 1,1", appMisses, handlerMisses)
+	}
+}

@@ -1,0 +1,314 @@
+// Package mem models the simulated 64-bit address space of a profiled
+// application: a data segment for global and static variables, a heap
+// segment managed by a deterministic first-fit allocator, a stack segment,
+// and a shadow segment that holds the instrumentation code's own data
+// structures (so that the profiler's memory traffic can be charged to the
+// simulated cache, as in the paper's perturbation study).
+//
+// Addresses are plain integers; no real memory is backed by them. The
+// simulator only cares about which addresses are touched, not about values.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Segment base addresses. HeapBase is chosen so that heap block addresses
+// resemble the hexadecimal object names reported in the paper's tables
+// (e.g. 0x141020000 for ijpeg's largest dynamically allocated block).
+const (
+	DataBase   Addr = 0x0000_0001_0000_0000
+	HeapBase   Addr = 0x0000_0001_4100_0000
+	StackBase  Addr = 0x0000_0007_ff00_0000
+	ShadowBase Addr = 0x0000_000a_0000_0000
+
+	heapLimit   Addr = 0x0000_0001_8000_0000
+	stackLimit  Addr = 0x0000_0008_0000_0000
+	shadowLimit Addr = 0x0000_000a_4000_0000
+)
+
+// Alignment constraints used by the allocators.
+const (
+	// GlobalAlign aligns global variables to cache-line-friendly offsets.
+	GlobalAlign = 64
+	// HeapAlign aligns heap blocks to 4 KiB pages, which keeps block
+	// addresses stable and readable, matching the page-granular block
+	// addresses listed in the paper.
+	HeapAlign = 0x1000
+)
+
+// Errors returned by the address space.
+var (
+	ErrOutOfMemory   = errors.New("mem: segment exhausted")
+	ErrBadFree       = errors.New("mem: free of unallocated address")
+	ErrDuplicateName = errors.New("mem: duplicate symbol name")
+)
+
+// Symbol describes a global or static variable in the simulated data
+// segment, as a symbol table or debug information would.
+type Symbol struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the symbol.
+func (s Symbol) End() Addr { return s.Base + Addr(s.Size) }
+
+// Contains reports whether a falls within the symbol's extent.
+func (s Symbol) Contains(a Addr) bool { return a >= s.Base && a < s.End() }
+
+// Space is a simulated process address space.
+type Space struct {
+	nextData   Addr
+	nextShadow Addr
+
+	symbols []Symbol // sorted by Base
+	byName  map[string]int
+
+	heap *freeList
+
+	// AllocObserver, if non-nil, is invoked after every successful heap
+	// allocation. The object map uses it the way the paper instruments
+	// memory allocation library functions.
+	AllocObserver func(base Addr, size uint64)
+	// FreeObserver, if non-nil, is invoked before a heap block is released.
+	FreeObserver func(base Addr, size uint64)
+	// ArenaObserver, if non-nil, is invoked when an allocation arena is
+	// reserved (see NewArena).
+	ArenaObserver func(site string, base Addr, size uint64)
+	// StackObserver, if non-nil, is invoked on frame push and pop.
+	StackObserver StackObserver
+
+	frames []frame
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{
+		nextData:   DataBase,
+		nextShadow: ShadowBase,
+		byName:     make(map[string]int),
+		heap:       newFreeList(HeapBase, heapLimit),
+	}
+}
+
+// DefineGlobal reserves space for a named global variable in the data
+// segment and records it in the symbol table. Definition order determines
+// layout, so workloads get reproducible addresses.
+func (s *Space) DefineGlobal(name string, size uint64) (Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("mem: global %q has zero size", name)
+	}
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	base := align(s.nextData, GlobalAlign)
+	end := base + Addr(size)
+	if end > HeapBase {
+		return 0, fmt.Errorf("%w: data segment", ErrOutOfMemory)
+	}
+	s.nextData = end
+	s.byName[name] = len(s.symbols)
+	s.symbols = append(s.symbols, Symbol{Name: name, Base: base, Size: size})
+	return base, nil
+}
+
+// MustDefineGlobal is DefineGlobal for statically sized workload setup code,
+// where a failure is a programming error.
+func (s *Space) MustDefineGlobal(name string, size uint64) Addr {
+	a, err := s.DefineGlobal(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Symbols returns the symbol table sorted by base address. The returned
+// slice is shared; callers must not modify it.
+func (s *Space) Symbols() []Symbol { return s.symbols }
+
+// SymbolByName looks up a global by name.
+func (s *Space) SymbolByName(name string) (Symbol, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Symbol{}, false
+	}
+	return s.symbols[i], true
+}
+
+// FindSymbol returns the symbol containing a, if any. The symbol table is
+// kept sorted by construction, so this is a binary search.
+func (s *Space) FindSymbol(a Addr) (Symbol, bool) {
+	i := sort.Search(len(s.symbols), func(i int) bool { return s.symbols[i].End() > a })
+	if i < len(s.symbols) && s.symbols[i].Contains(a) {
+		return s.symbols[i], true
+	}
+	return Symbol{}, false
+}
+
+// DataExtent returns the used portion of the data segment.
+func (s *Space) DataExtent() (lo, hi Addr) {
+	if len(s.symbols) == 0 {
+		return DataBase, DataBase
+	}
+	return s.symbols[0].Base, s.symbols[len(s.symbols)-1].End()
+}
+
+// Malloc allocates a block in the heap segment and notifies the observer.
+// Blocks are page-aligned; see HeapAlign.
+func (s *Space) Malloc(size uint64) (Addr, error) {
+	if size == 0 {
+		size = 1
+	}
+	base, err := s.heap.alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if s.AllocObserver != nil {
+		s.AllocObserver(base, size)
+	}
+	return base, nil
+}
+
+// MustMalloc is Malloc for workload setup code.
+func (s *Space) MustMalloc(size uint64) Addr {
+	a, err := s.Malloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases a heap block previously returned by Malloc.
+func (s *Space) Free(base Addr) error {
+	size, err := s.heap.free(base)
+	if err != nil {
+		return err
+	}
+	if s.FreeObserver != nil {
+		s.FreeObserver(base, size)
+	}
+	return nil
+}
+
+// HeapExtent returns the span of the heap segment that has ever been used.
+func (s *Space) HeapExtent() (lo, hi Addr) { return s.heap.base, s.heap.highWater }
+
+// AllocShadow reserves a chunk of the shadow segment for instrumentation
+// data. Shadow memory is never freed; the profiler's data structures live
+// for the whole run.
+func (s *Space) AllocShadow(size uint64) (Addr, error) {
+	base := align(s.nextShadow, GlobalAlign)
+	end := base + Addr(size)
+	if end > shadowLimit {
+		return 0, fmt.Errorf("%w: shadow segment", ErrOutOfMemory)
+	}
+	s.nextShadow = end
+	return base, nil
+}
+
+// Extent returns the full span of addresses an n-way search should cover:
+// from the start of the data segment through the end of the heap's high
+// water mark (stack variables are future work in the paper, and the shadow
+// segment is the instrumentation's own memory).
+func (s *Space) Extent() (lo, hi Addr) {
+	dlo, dhi := s.DataExtent()
+	hlo, hhi := s.HeapExtent()
+	lo, hi = dlo, dhi
+	if hhi > hlo {
+		if hlo < lo || lo == hi {
+			// data segment empty
+		}
+		if hhi > hi {
+			hi = hhi
+		}
+		if dlo == dhi { // no globals at all
+			lo = hlo
+		}
+	}
+	if lo == hi { // completely empty space; return a minimal span
+		return DataBase, DataBase + 1
+	}
+	return lo, hi
+}
+
+func align(a Addr, to uint64) Addr {
+	return Addr((uint64(a) + to - 1) &^ (to - 1))
+}
+
+// freeList is a first-fit, address-ordered free list with coalescing.
+// Determinism matters more than speed here: allocation happens during
+// workload setup and occasionally during execution, never per-reference.
+type freeList struct {
+	base, limit Addr
+	highWater   Addr
+	spans       []span          // sorted by base, non-adjacent (coalesced)
+	allocated   map[Addr]uint64 // base -> rounded size
+}
+
+type span struct {
+	base Addr
+	size uint64
+}
+
+func newFreeList(base, limit Addr) *freeList {
+	return &freeList{
+		base:      base,
+		limit:     limit,
+		highWater: base,
+		spans:     []span{{base: base, size: uint64(limit - base)}},
+		allocated: make(map[Addr]uint64),
+	}
+}
+
+func (f *freeList) alloc(size uint64) (Addr, error) {
+	rounded := (size + HeapAlign - 1) &^ (HeapAlign - 1)
+	for i := range f.spans {
+		if f.spans[i].size >= rounded {
+			base := f.spans[i].base
+			f.spans[i].base += Addr(rounded)
+			f.spans[i].size -= rounded
+			if f.spans[i].size == 0 {
+				f.spans = append(f.spans[:i], f.spans[i+1:]...)
+			}
+			f.allocated[base] = rounded
+			if end := base + Addr(rounded); end > f.highWater {
+				f.highWater = end
+			}
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: heap", ErrOutOfMemory)
+}
+
+func (f *freeList) free(base Addr) (uint64, error) {
+	rounded, ok := f.allocated[base]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, uint64(base))
+	}
+	delete(f.allocated, base)
+	// Insert the span keeping the list sorted, then coalesce neighbours.
+	i := sort.Search(len(f.spans), func(i int) bool { return f.spans[i].base > base })
+	f.spans = append(f.spans, span{})
+	copy(f.spans[i+1:], f.spans[i:])
+	f.spans[i] = span{base: base, size: rounded}
+	// Coalesce with successor first so the index for the predecessor stays valid.
+	if i+1 < len(f.spans) && f.spans[i].base+Addr(f.spans[i].size) == f.spans[i+1].base {
+		f.spans[i].size += f.spans[i+1].size
+		f.spans = append(f.spans[:i+1], f.spans[i+2:]...)
+	}
+	if i > 0 && f.spans[i-1].base+Addr(f.spans[i-1].size) == f.spans[i].base {
+		f.spans[i-1].size += f.spans[i].size
+		f.spans = append(f.spans[:i], f.spans[i+1:]...)
+	}
+	return rounded, nil
+}
+
+// liveBlocks returns the number of outstanding allocations (for tests).
+func (f *freeList) liveBlocks() int { return len(f.allocated) }

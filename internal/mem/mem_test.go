@@ -1,0 +1,347 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefineGlobalLayout(t *testing.T) {
+	s := NewSpace()
+	a, err := s.DefineGlobal("A", 100)
+	if err != nil {
+		t.Fatalf("DefineGlobal A: %v", err)
+	}
+	if a != DataBase {
+		t.Fatalf("first global at %#x, want %#x", uint64(a), uint64(DataBase))
+	}
+	b, err := s.DefineGlobal("B", 8)
+	if err != nil {
+		t.Fatalf("DefineGlobal B: %v", err)
+	}
+	if b != DataBase+128 {
+		t.Fatalf("second global at %#x, want %#x (aligned past A)", uint64(b), uint64(DataBase+128))
+	}
+	if uint64(b)%GlobalAlign != 0 {
+		t.Errorf("global not %d-aligned: %#x", GlobalAlign, uint64(b))
+	}
+}
+
+func TestDefineGlobalDuplicate(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.DefineGlobal("X", 8); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.DefineGlobal("X", 8)
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("duplicate define: err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestDefineGlobalZeroSize(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.DefineGlobal("Z", 0); err == nil {
+		t.Fatal("zero-size global accepted")
+	}
+}
+
+func TestFindSymbol(t *testing.T) {
+	s := NewSpace()
+	a := s.MustDefineGlobal("A", 64)
+	b := s.MustDefineGlobal("B", 256)
+	c := s.MustDefineGlobal("C", 8)
+
+	cases := []struct {
+		addr Addr
+		want string
+		ok   bool
+	}{
+		{a, "A", true},
+		{a + 63, "A", true},
+		{b, "B", true},
+		{b + 255, "B", true},
+		{c, "C", true},
+		{c + 8, "", false},        // one past the end of C
+		{DataBase - 1, "", false}, // below the data segment
+		{HeapBase, "", false},
+	}
+	for _, tc := range cases {
+		sym, ok := s.FindSymbol(tc.addr)
+		if ok != tc.ok || (ok && sym.Name != tc.want) {
+			t.Errorf("FindSymbol(%#x) = %q,%v want %q,%v", uint64(tc.addr), sym.Name, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestSymbolByName(t *testing.T) {
+	s := NewSpace()
+	want := s.MustDefineGlobal("RX", 4096)
+	sym, ok := s.SymbolByName("RX")
+	if !ok || sym.Base != want || sym.Size != 4096 {
+		t.Fatalf("SymbolByName(RX) = %+v,%v", sym, ok)
+	}
+	if _, ok := s.SymbolByName("nope"); ok {
+		t.Fatal("found nonexistent symbol")
+	}
+}
+
+func TestMallocDeterministic(t *testing.T) {
+	// Two independent spaces performing the same allocations must produce
+	// the same addresses: heap object names in the paper's tables are
+	// addresses, so reproducibility requires a deterministic allocator.
+	s1, s2 := NewSpace(), NewSpace()
+	for i := 0; i < 10; i++ {
+		a1 := s1.MustMalloc(uint64(1000 * (i + 1)))
+		a2 := s2.MustMalloc(uint64(1000 * (i + 1)))
+		if a1 != a2 {
+			t.Fatalf("alloc %d: %#x != %#x", i, uint64(a1), uint64(a2))
+		}
+	}
+}
+
+func TestMallocAlignmentAndSpacing(t *testing.T) {
+	s := NewSpace()
+	a := s.MustMalloc(1)
+	if a != HeapBase {
+		t.Fatalf("first block at %#x, want %#x", uint64(a), uint64(HeapBase))
+	}
+	b := s.MustMalloc(HeapAlign + 1) // rounds to 2 pages
+	if b != HeapBase+HeapAlign {
+		t.Fatalf("second block at %#x, want %#x", uint64(b), uint64(HeapBase+HeapAlign))
+	}
+	c := s.MustMalloc(8)
+	if c != HeapBase+3*HeapAlign {
+		t.Fatalf("third block at %#x, want %#x", uint64(c), uint64(HeapBase+3*HeapAlign))
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := NewSpace()
+	a := s.MustMalloc(100)
+	_ = s.MustMalloc(100)
+	if err := s.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	// First-fit should reuse the freed hole.
+	c := s.MustMalloc(50)
+	if c != a {
+		t.Fatalf("re-alloc at %#x, want reused hole %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	s := NewSpace()
+	if err := s.Free(HeapBase); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("free of never-allocated: %v, want ErrBadFree", err)
+	}
+	a := s.MustMalloc(10)
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(a); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: %v, want ErrBadFree", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	s := NewSpace()
+	var blocks []Addr
+	for i := 0; i < 8; i++ {
+		blocks = append(blocks, s.MustMalloc(HeapAlign))
+	}
+	// Free all in a mixed order; the free list must coalesce back to one span.
+	order := []int{3, 1, 2, 7, 5, 6, 4, 0}
+	for _, i := range order {
+		if err := s.Free(blocks[i]); err != nil {
+			t.Fatalf("free %d: %v", i, err)
+		}
+	}
+	if n := len(s.heap.spans); n != 1 {
+		t.Fatalf("free list has %d spans after freeing everything, want 1", n)
+	}
+	if s.heap.liveBlocks() != 0 {
+		t.Fatalf("%d live blocks remain", s.heap.liveBlocks())
+	}
+	// And a fresh allocation lands back at the heap base.
+	if a := s.MustMalloc(1); a != HeapBase {
+		t.Fatalf("alloc after full free at %#x, want %#x", uint64(a), uint64(HeapBase))
+	}
+}
+
+func TestObservers(t *testing.T) {
+	s := NewSpace()
+	var allocs, frees int
+	var lastBase Addr
+	var lastSize uint64
+	s.AllocObserver = func(base Addr, size uint64) { allocs++; lastBase, lastSize = base, size }
+	s.FreeObserver = func(base Addr, size uint64) { frees++ }
+	a := s.MustMalloc(123)
+	if allocs != 1 || lastBase != a || lastSize != 123 {
+		t.Fatalf("alloc observer saw base=%#x size=%d count=%d", uint64(lastBase), lastSize, allocs)
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if frees != 1 {
+		t.Fatalf("free observer called %d times", frees)
+	}
+}
+
+func TestHeapExtentHighWater(t *testing.T) {
+	s := NewSpace()
+	lo, hi := s.HeapExtent()
+	if lo != HeapBase || hi != HeapBase {
+		t.Fatalf("empty heap extent [%#x,%#x)", uint64(lo), uint64(hi))
+	}
+	a := s.MustMalloc(5 * HeapAlign)
+	_, hi = s.HeapExtent()
+	if hi != a+5*HeapAlign {
+		t.Fatalf("high water %#x, want %#x", uint64(hi), uint64(a+5*HeapAlign))
+	}
+	// Freeing does not lower the high-water mark: the search technique
+	// covers the whole span the heap has ever occupied.
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, hi2 := s.HeapExtent(); hi2 != hi {
+		t.Fatalf("high water dropped from %#x to %#x after free", uint64(hi), uint64(hi2))
+	}
+}
+
+func TestExtentCoversDataAndHeap(t *testing.T) {
+	s := NewSpace()
+	s.MustDefineGlobal("G", 100)
+	s.MustMalloc(100)
+	lo, hi := s.Extent()
+	if lo != DataBase {
+		t.Fatalf("extent lo %#x, want data base", uint64(lo))
+	}
+	if hi != HeapBase+HeapAlign {
+		t.Fatalf("extent hi %#x, want heap high water", uint64(hi))
+	}
+}
+
+func TestExtentEmptySpace(t *testing.T) {
+	s := NewSpace()
+	lo, hi := s.Extent()
+	if hi <= lo {
+		t.Fatalf("empty extent [%#x,%#x) not a valid span", uint64(lo), uint64(hi))
+	}
+}
+
+func TestExtentHeapOnly(t *testing.T) {
+	s := NewSpace()
+	a := s.MustMalloc(100)
+	lo, hi := s.Extent()
+	if lo != a || hi != a+HeapAlign {
+		t.Fatalf("heap-only extent [%#x,%#x), want [%#x,%#x)", uint64(lo), uint64(hi), uint64(a), uint64(a+HeapAlign))
+	}
+}
+
+func TestAllocShadowSeparateSegment(t *testing.T) {
+	s := NewSpace()
+	a, err := s.AllocShadow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < ShadowBase {
+		t.Fatalf("shadow alloc %#x below ShadowBase", uint64(a))
+	}
+	b, err := s.AllocShadow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("shadow allocs not increasing: %#x then %#x", uint64(a), uint64(b))
+	}
+	// Shadow memory must be outside the search extent.
+	_, hi := s.Extent()
+	if a < hi {
+		t.Fatal("shadow segment overlaps application extent")
+	}
+}
+
+// TestMallocFreeProperty drives random alloc/free sequences and checks the
+// allocator invariants: no two live blocks overlap, all addresses are
+// page-aligned and inside the heap segment.
+func TestMallocFreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSpace()
+	live := make(map[Addr]uint64)
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			size := uint64(rng.Intn(64*1024) + 1)
+			a, err := s.Malloc(size)
+			if err != nil {
+				t.Fatalf("step %d: malloc(%d): %v", step, size, err)
+			}
+			if uint64(a)%HeapAlign != 0 {
+				t.Fatalf("unaligned block %#x", uint64(a))
+			}
+			rounded := (size + HeapAlign - 1) &^ (HeapAlign - 1)
+			for base, sz := range live {
+				if a < base+Addr(sz) && base < a+Addr(rounded) {
+					t.Fatalf("step %d: block [%#x,+%d) overlaps [%#x,+%d)", step, uint64(a), rounded, uint64(base), sz)
+				}
+			}
+			live[a] = rounded
+		} else {
+			// free a random live block
+			var pick Addr
+			n := rng.Intn(len(live))
+			for base := range live {
+				if n == 0 {
+					pick = base
+					break
+				}
+				n--
+			}
+			if err := s.Free(pick); err != nil {
+				t.Fatalf("step %d: free(%#x): %v", step, uint64(pick), err)
+			}
+			delete(live, pick)
+		}
+	}
+	if s.heap.liveBlocks() != len(live) {
+		t.Fatalf("allocator tracks %d blocks, test tracks %d", s.heap.liveBlocks(), len(live))
+	}
+}
+
+// Property: align never decreases an address and always produces a multiple.
+func TestAlignProperty(t *testing.T) {
+	f := func(a uint32, shift uint8) bool {
+		to := uint64(1) << (shift % 12)
+		got := align(Addr(a), to)
+		return got >= Addr(a) && uint64(got)%to == 0 && got < Addr(a)+Addr(to)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FindSymbol agrees with a linear scan.
+func TestFindSymbolProperty(t *testing.T) {
+	s := NewSpace()
+	sizes := []uint64{8, 64, 1, 4096, 100, 17, 128}
+	for i, sz := range sizes {
+		s.MustDefineGlobal(string(rune('A'+i)), sz)
+	}
+	f := func(off uint16) bool {
+		a := DataBase + Addr(off)
+		sym, ok := s.FindSymbol(a)
+		// linear reference
+		var want Symbol
+		var wantOK bool
+		for _, sy := range s.Symbols() {
+			if sy.Contains(a) {
+				want, wantOK = sy, true
+				break
+			}
+		}
+		return ok == wantOK && sym == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stack-frame support — the paper's §5 future work: "We plan to extend
+// the techniques we have discussed to gather information about variables
+// on the stack." The simulated stack grows downward from StackBase;
+// frames are pushed with the name of the function they belong to, so the
+// object map can instantiate the function's locals from a registered
+// frame layout (standing in for debug information).
+
+// ErrStackUnderflow is returned by PopFrame with no frames live.
+var ErrStackUnderflow = errors.New("mem: stack underflow")
+
+// stackLowLimit bounds stack growth.
+const stackLowLimit = StackBase - 0x0100_0000 // 16 MiB of stack
+
+type frame struct {
+	fn   string
+	base Addr
+	size uint64
+}
+
+// StackObserver is notified of frame pushes and pops; the object map uses
+// it to create and retire stack-variable objects.
+type StackObserver func(fn string, base Addr, size uint64, push bool)
+
+// PushFrame allocates a stack frame of the given size for function fn and
+// returns its base (lowest) address.
+func (s *Space) PushFrame(fn string, size uint64) (Addr, error) {
+	size = uint64(align(Addr(size), 16))
+	top := StackBase
+	if n := len(s.frames); n > 0 {
+		top = s.frames[n-1].base
+	}
+	if uint64(top-stackLowLimit) < size {
+		return 0, fmt.Errorf("%w: stack segment", ErrOutOfMemory)
+	}
+	base := top - Addr(size)
+	s.frames = append(s.frames, frame{fn: fn, base: base, size: size})
+	if s.StackObserver != nil {
+		s.StackObserver(fn, base, size, true)
+	}
+	return base, nil
+}
+
+// PopFrame releases the most recent frame.
+func (s *Space) PopFrame() error {
+	n := len(s.frames)
+	if n == 0 {
+		return ErrStackUnderflow
+	}
+	f := s.frames[n-1]
+	s.frames = s.frames[:n-1]
+	if s.StackObserver != nil {
+		s.StackObserver(f.fn, f.base, f.size, false)
+	}
+	return nil
+}
+
+// FrameDepth returns the number of live frames.
+func (s *Space) FrameDepth() int { return len(s.frames) }
+
+// StackExtent returns the span of addresses currently occupied by frames
+// (lo inclusive, hi exclusive); lo == hi when the stack is empty.
+func (s *Space) StackExtent() (lo, hi Addr) {
+	if len(s.frames) == 0 {
+		return StackBase, StackBase
+	}
+	return s.frames[len(s.frames)-1].base, StackBase
+}
+
+// --- arena allocation ----------------------------------------------------
+
+// Arena is a contiguous heap region that groups related allocations — the
+// paper's §5 proposal for letting the search treat "related blocks of
+// dynamically allocated memory (for instance, the nodes of a tree)" as a
+// unit: "replacing the standard memory allocation functions with
+// specialized ones that arrange memory for measurement."
+type Arena struct {
+	Site string
+	base Addr
+	size uint64
+	next uint64
+}
+
+// NewArena reserves capacity bytes of heap for allocations tagged with
+// the given site name. The AllocObserver is notified once for the whole
+// arena (with the site as identity), not per block, so the object map
+// sees a single object covering all related blocks.
+func (s *Space) NewArena(site string, capacity uint64) (*Arena, error) {
+	base, err := s.heap.alloc(capacity)
+	if err != nil {
+		return nil, err
+	}
+	a := &Arena{Site: site, base: base, size: (capacity + HeapAlign - 1) &^ (HeapAlign - 1)}
+	if s.ArenaObserver != nil {
+		s.ArenaObserver(site, base, a.size)
+	}
+	return a, nil
+}
+
+// Alloc bump-allocates within the arena (16-byte aligned). It fails once
+// the arena is exhausted; arenas are sized by the caller.
+func (a *Arena) Alloc(size uint64) (Addr, error) {
+	size = uint64(align(Addr(size), 16))
+	if a.next+size > a.size {
+		return 0, fmt.Errorf("%w: arena %q", ErrOutOfMemory, a.Site)
+	}
+	addr := a.base + Addr(a.next)
+	a.next += size
+	return addr, nil
+}
+
+// Base returns the arena's starting address.
+func (a *Arena) Base() Addr { return a.base }
+
+// Used returns the number of bytes allocated so far.
+func (a *Arena) Used() uint64 { return a.next }
+
+// Reset discards all allocations, reusing the arena's space.
+func (a *Arena) Reset() { a.next = 0 }

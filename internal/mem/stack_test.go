@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPushPopFrame(t *testing.T) {
+	s := NewSpace()
+	b1, err := s.PushFrame("main", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != StackBase-256 {
+		t.Fatalf("first frame at %#x, want %#x", uint64(b1), uint64(StackBase-256))
+	}
+	b2, err := s.PushFrame("compute", 100) // rounds to 112 (16-aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1-112 {
+		t.Fatalf("second frame at %#x, want %#x", uint64(b2), uint64(b1-112))
+	}
+	if s.FrameDepth() != 2 {
+		t.Fatalf("depth = %d", s.FrameDepth())
+	}
+	lo, hi := s.StackExtent()
+	if lo != b2 || hi != StackBase {
+		t.Fatalf("extent [%#x,%#x)", uint64(lo), uint64(hi))
+	}
+	if err := s.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PopFrame(); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("underflow pop: %v", err)
+	}
+	if lo, hi := s.StackExtent(); lo != hi {
+		t.Fatal("empty stack has nonzero extent")
+	}
+}
+
+func TestFrameAddressReuse(t *testing.T) {
+	s := NewSpace()
+	b1, _ := s.PushFrame("f", 128)
+	if err := s.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := s.PushFrame("g", 128)
+	if b1 != b2 {
+		t.Fatalf("stack addresses not reused: %#x vs %#x", uint64(b1), uint64(b2))
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.PushFrame("huge", 32<<20); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// Cumulative overflow: frames that fit individually exhaust the
+	// segment eventually.
+	for i := 0; ; i++ {
+		if _, err := s.PushFrame("f", 1<<20); err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("overflow error: %v", err)
+			}
+			if i < 8 {
+				t.Fatalf("segment exhausted after only %d frames", i)
+			}
+			break
+		}
+		if i > 64 {
+			t.Fatal("stack segment never exhausted")
+		}
+	}
+}
+
+func TestStackObserver(t *testing.T) {
+	s := NewSpace()
+	var events []string
+	s.StackObserver = func(fn string, base Addr, size uint64, push bool) {
+		op := "pop"
+		if push {
+			op = "push"
+		}
+		events = append(events, op+":"+fn)
+	}
+	s.PushFrame("a", 64)
+	s.PushFrame("b", 64)
+	s.PopFrame()
+	s.PopFrame()
+	want := []string{"push:a", "push:b", "pop:b", "pop:a"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestArenaAllocation(t *testing.T) {
+	s := NewSpace()
+	var observed string
+	s.ArenaObserver = func(site string, base Addr, size uint64) { observed = site }
+	a, err := s.NewArena("tree-nodes", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != "tree-nodes" {
+		t.Fatal("arena observer not notified")
+	}
+	p1, err := a.Alloc(40) // rounds to 48
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != a.Base() || p2 != p1+48 {
+		t.Fatalf("bump allocation wrong: %#x %#x base %#x", uint64(p1), uint64(p2), uint64(a.Base()))
+	}
+	if a.Used() != 64 {
+		t.Fatalf("Used = %d", a.Used())
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	s := NewSpace()
+	a, err := s.NewArena("small", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity rounds up to a page, so fill the page.
+	for a.Used()+16 <= HeapAlign {
+		if _, err := a.Alloc(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Alloc(32); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("exhausted arena alloc: %v", err)
+	}
+	a.Reset()
+	if _, err := a.Alloc(32); err != nil {
+		t.Fatalf("post-reset alloc: %v", err)
+	}
+}
+
+func TestArenaDoesNotCollideWithMalloc(t *testing.T) {
+	s := NewSpace()
+	a, _ := s.NewArena("arena", 8<<10)
+	blk := s.MustMalloc(4 << 10)
+	if blk >= a.Base() && blk < a.Base()+8<<10 {
+		t.Fatal("malloc block inside arena reservation")
+	}
+}

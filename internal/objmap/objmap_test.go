@@ -1,0 +1,324 @@
+package objmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+func newSpaceWithGlobals(t *testing.T, sizes map[string]uint64) (*mem.Space, *Map) {
+	t.Helper()
+	s := mem.NewSpace()
+	// Deterministic order for reproducibility.
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		if sz, ok := sizes[name]; ok {
+			s.MustDefineGlobal(name, sz)
+		}
+	}
+	m := New(s)
+	m.BindSpace(s)
+	return s, m
+}
+
+func TestLookupGlobals(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 100, "B": 200, "C": 300})
+	symA, _ := s.SymbolByName("A")
+	symB, _ := s.SymbolByName("B")
+
+	if o := m.Lookup(symA.Base); o == nil || o.Name != "A" {
+		t.Fatalf("Lookup(A.base) = %v", o)
+	}
+	if o := m.Lookup(symA.Base + 99); o == nil || o.Name != "A" {
+		t.Fatalf("Lookup(A.base+99) = %v", o)
+	}
+	// Alignment gap between A (100 bytes) and B (aligned to 128): hole.
+	if o := m.Lookup(symA.Base + 100); o != nil {
+		t.Fatalf("Lookup in padding gap = %v, want nil", o)
+	}
+	if o := m.Lookup(symB.Base + 1); o == nil || o.Name != "B" {
+		t.Fatalf("Lookup(B.base+1) = %v", o)
+	}
+	if o := m.Lookup(mem.DataBase - 1); o != nil {
+		t.Fatalf("Lookup below data = %v, want nil", o)
+	}
+}
+
+func TestLookupHeapViaObservers(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 64})
+	base := s.MustMalloc(5000)
+	o := m.Lookup(base + 4999)
+	if o == nil || o.Kind != KindHeap {
+		t.Fatalf("Lookup(heap) = %v", o)
+	}
+	wantName := fmt.Sprintf("%#x", uint64(base))
+	if o.Name != wantName {
+		t.Fatalf("heap object name %q, want %q", o.Name, wantName)
+	}
+	if !o.Live {
+		t.Fatal("freshly allocated block not live")
+	}
+	// Address beyond the requested size but within the page rounding is
+	// not part of the object.
+	if got := m.Lookup(base + 5000); got != nil {
+		t.Fatalf("Lookup past block size = %v, want nil", got)
+	}
+}
+
+func TestFreeMarksDead(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 64})
+	base := s.MustMalloc(100)
+	o := m.Lookup(base)
+	if o == nil {
+		t.Fatal("lookup before free failed")
+	}
+	if err := s.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	if o.Live {
+		t.Fatal("freed object still live")
+	}
+	if got := m.Lookup(base); got != nil {
+		t.Fatalf("Lookup after free = %v, want nil", got)
+	}
+	if m.LiveHeapBlocks() != 0 {
+		t.Fatalf("LiveHeapBlocks = %d", m.LiveHeapBlocks())
+	}
+	// The dead object remains reportable by ID.
+	if m.ByID(o.ID) != o {
+		t.Fatal("dead object lost from ID table")
+	}
+}
+
+func TestReallocationNewObject(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 64})
+	base := s.MustMalloc(100)
+	first := m.Lookup(base)
+	if err := s.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	base2 := s.MustMalloc(100)
+	if base2 != base {
+		t.Fatalf("allocator did not reuse freed block (got %#x want %#x)", uint64(base2), uint64(base))
+	}
+	second := m.Lookup(base2)
+	if second == nil || second == first {
+		t.Fatal("reallocation did not create a distinct object")
+	}
+	if first.Live || !second.Live {
+		t.Fatal("liveness wrong after realloc")
+	}
+}
+
+func TestStackVars(t *testing.T) {
+	_, m := newSpaceWithGlobals(t, map[string]uint64{"A": 64})
+	m.RegisterStackVar("frame0:buf", mem.StackBase, 4096)
+	o := m.Lookup(mem.StackBase + 100)
+	if o == nil || o.Kind != KindStack || o.Name != "frame0:buf" {
+		t.Fatalf("stack lookup = %v", o)
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 64, "B": 64})
+	s.MustMalloc(10)
+	s.MustMalloc(10)
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	for i := 0; i < m.Len(); i++ {
+		if m.ByID(i).ID != i {
+			t.Fatalf("object %d has ID %d", i, m.ByID(i).ID)
+		}
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 128, "B": 128})
+	symA, _ := s.SymbolByName("A")
+	symB, _ := s.SymbolByName("B")
+	hp := s.MustMalloc(0x1000)
+
+	bs := m.Boundaries(symA.Base, hp+0x1000)
+	// Expect: A.end(=B.base since 128 is aligned), B.end, heap base.
+	// A.base excluded (== lo), heap end excluded (== hi).
+	want := []mem.Addr{symB.Base, symB.End(), hp}
+	if len(bs) != len(want) {
+		t.Fatalf("Boundaries = %v, want %v", bs, want)
+	}
+	for i := range want {
+		if bs[i] != want[i] {
+			t.Fatalf("Boundaries[%d] = %#x, want %#x", i, uint64(bs[i]), uint64(want[i]))
+		}
+	}
+}
+
+func TestAlignSplitAvoidsObjectInterior(t *testing.T) {
+	s := mem.NewSpace()
+	a := s.MustDefineGlobal("A", 1000)
+	b := s.MustDefineGlobal("B", 3000)
+	m := New(s)
+	m.BindSpace(s)
+
+	// Region covering A and most of B; midpoint falls inside B.
+	lo, hi := a, b+3000
+	mid := m.AlignSplit(lo, hi)
+	if mid > b && mid < b+3000 {
+		t.Fatalf("split point %#x strictly inside B [%#x,%#x)", uint64(mid), uint64(b), uint64(b+3000))
+	}
+	if mid <= lo || mid >= hi {
+		t.Fatalf("split point %#x outside (lo,hi)", uint64(mid))
+	}
+}
+
+func TestAlignSplitWholeObjectRegion(t *testing.T) {
+	s := mem.NewSpace()
+	a := s.MustDefineGlobal("A", 4096)
+	m := New(s)
+	// Region covered entirely by one object: unsplittable without
+	// fragmenting the object; signalled by returning lo.
+	mid := m.AlignSplit(a, a+4096)
+	if mid != a {
+		t.Fatalf("whole-object split = %#x, want lo (%#x) to signal no split", uint64(mid), uint64(a))
+	}
+}
+
+func TestAlignSplitOnGap(t *testing.T) {
+	s := mem.NewSpace()
+	s.MustDefineGlobal("A", 64)
+	m := New(s)
+	// Region over empty space: midpoint not inside any object.
+	lo := mem.HeapBase
+	hi := lo + 0x10000
+	if mid := m.AlignSplit(lo, hi); mid != lo+0x8000 {
+		t.Fatalf("gap split = %#x, want raw midpoint", uint64(mid))
+	}
+}
+
+func TestSingleObject(t *testing.T) {
+	s := mem.NewSpace()
+	a := s.MustDefineGlobal("A", 1000)
+	b := s.MustDefineGlobal("B", 1000)
+	m := New(s)
+
+	if o, ok := m.SingleObject(a, a+1000); !ok || o.Name != "A" {
+		t.Fatalf("SingleObject(A exactly) = %v,%v", o, ok)
+	}
+	// Region covering a fragment of A only: still single-object.
+	if o, ok := m.SingleObject(a+100, a+200); !ok || o.Name != "A" {
+		t.Fatalf("SingleObject(A fragment) = %v,%v", o, ok)
+	}
+	// Region spanning A and B: not single.
+	if _, ok := m.SingleObject(a, b+1000); ok {
+		t.Fatal("SingleObject over two objects returned true")
+	}
+	// Region over nothing: not single.
+	if _, ok := m.SingleObject(mem.HeapBase, mem.HeapBase+100); ok {
+		t.Fatal("SingleObject over empty space returned true")
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	s := mem.NewSpace()
+	a := s.MustDefineGlobal("A", 1000)
+	s.MustDefineGlobal("B", 1000)
+	m := New(s)
+	m.BindSpace(s)
+	h := s.MustMalloc(100)
+
+	all := m.Overlapping(a, h+0x1000)
+	if len(all) != 3 {
+		t.Fatalf("Overlapping returned %d objects, want 3", len(all))
+	}
+	// Partial overlap at the edges.
+	edge := m.Overlapping(a+999, a+1000)
+	if len(edge) != 1 || edge[0].Name != "A" {
+		t.Fatalf("edge overlap = %v", edge)
+	}
+	none := m.Overlapping(a+1000, a+1024)
+	// [A.end, B.base) is alignment padding — wait, A is 1000 bytes, B
+	// aligns to 1024. So [a+1000, a+1024) is a hole.
+	if len(none) != 0 {
+		t.Fatalf("hole overlap = %v, want empty", none)
+	}
+}
+
+func TestLookupDepthAccumulates(t *testing.T) {
+	s := mem.NewSpace()
+	for i := 0; i < 64; i++ {
+		s.MustDefineGlobal(fmt.Sprintf("g%02d", i), 64)
+	}
+	m := New(s)
+	before := m.LookupDepth
+	m.Lookup(mem.DataBase + 100)
+	if m.LookupDepth <= before {
+		t.Fatal("LookupDepth did not increase for a global lookup")
+	}
+}
+
+// Property-style test: Lookup agrees with a linear scan over a randomized
+// mix of globals and heap blocks, including after frees.
+func TestLookupAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := mem.NewSpace()
+	for i := 0; i < 20; i++ {
+		s.MustDefineGlobal(fmt.Sprintf("v%d", i), uint64(rng.Intn(5000)+1))
+	}
+	m := New(s)
+	m.BindSpace(s)
+	var heap []mem.Addr
+	for i := 0; i < 50; i++ {
+		heap = append(heap, s.MustMalloc(uint64(rng.Intn(20000)+1)))
+	}
+	for _, i := range []int{3, 7, 11, 30, 42} {
+		if err := s.Free(heap[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	linear := func(a mem.Addr) *Object {
+		for _, o := range m.Objects() {
+			if o.Live && o.Contains(a) {
+				return o
+			}
+		}
+		return nil
+	}
+
+	lo, hi := s.Extent()
+	for trial := 0; trial < 5000; trial++ {
+		a := lo + mem.Addr(rng.Int63n(int64(hi-lo)))
+		got, want := m.Lookup(a), linear(a)
+		if got != want {
+			t.Fatalf("Lookup(%#x) = %v, linear scan says %v", uint64(a), got, want)
+		}
+	}
+}
+
+func BenchmarkLookupGlobal(b *testing.B) {
+	s := mem.NewSpace()
+	for i := 0; i < 100; i++ {
+		s.MustDefineGlobal(fmt.Sprintf("g%d", i), 4096)
+	}
+	m := New(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(mem.DataBase + mem.Addr((i*97)%(100*4096)))
+	}
+}
+
+func BenchmarkLookupHeap(b *testing.B) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	for i := 0; i < 1000; i++ {
+		s.MustMalloc(4096)
+	}
+	lo, hi := s.HeapExtent()
+	span := uint64(hi - lo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(lo + mem.Addr(uint64(i*1009)%span))
+	}
+}

@@ -1,0 +1,73 @@
+package objmap
+
+import (
+	"sort"
+
+	"membottle/internal/mem"
+)
+
+// Stack-variable and allocation-grouping support — the paper's §5 future
+// work. Frame layouts stand in for the debug information a real tool
+// would read: once a function's layout is registered, every pushed frame
+// instantiates stack objects for its locals, named "fn:local" so that
+// "data for all instances of the same local variable" can be aggregated
+// by name. Arena reservations appear as a single grouped object named by
+// their allocation site, letting the search treat related heap blocks as
+// a unit.
+
+// LocalVar describes one local variable within a frame layout.
+type LocalVar struct {
+	Name   string
+	Offset uint64 // from the frame base (its lowest address)
+	Size   uint64
+}
+
+// RegisterFrameLayout registers the locals of function fn. Frames pushed
+// for fn after registration instantiate one stack object per local.
+func (m *Map) RegisterFrameLayout(fn string, locals []LocalVar) {
+	if m.frameLayouts == nil {
+		m.frameLayouts = make(map[string][]LocalVar)
+	}
+	m.frameLayouts[fn] = locals
+}
+
+// onFramePush instantiates stack objects for a new frame.
+func (m *Map) onFramePush(fn string, base mem.Addr, size uint64) {
+	for _, lv := range m.frameLayouts[fn] {
+		if lv.Offset+lv.Size > size {
+			continue // layout larger than the pushed frame; skip the overflow
+		}
+		m.addObject(fn+":"+lv.Name, base+mem.Addr(lv.Offset), lv.Size, KindStack)
+	}
+}
+
+// onFramePop retires every stack object within the popped frame: the
+// objects are marked dead and removed from the lookup index (their
+// accumulated counts remain reportable through the ID table).
+func (m *Map) onFramePop(base mem.Addr, size uint64) {
+	end := base + mem.Addr(size)
+	keep := m.stack[:0]
+	for _, o := range m.stack {
+		if o.Base >= base && o.End() <= end {
+			o.Live = false
+			continue
+		}
+		keep = append(keep, o)
+	}
+	m.stack = keep
+}
+
+// onArena registers a grouped heap object covering a whole arena.
+func (m *Map) onArena(site string, base mem.Addr, size uint64) {
+	o := m.addObject(site, base, size, KindHeap)
+	m.heap.Insert(base, size, o)
+}
+
+// StackObjects returns the live stack objects in address order (tests
+// and diagnostics).
+func (m *Map) StackObjects() []*Object {
+	out := make([]*Object, len(m.stack))
+	copy(out, m.stack)
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}

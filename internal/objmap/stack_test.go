@@ -1,0 +1,136 @@
+package objmap
+
+import (
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+func TestFrameLayoutInstantiation(t *testing.T) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	m.RegisterFrameLayout("solve", []LocalVar{
+		{Name: "buf", Offset: 0, Size: 256},
+		{Name: "tmp", Offset: 256, Size: 64},
+	})
+
+	base, err := s.PushFrame("solve", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := m.Lookup(base + 10)
+	if buf == nil || buf.Name != "solve:buf" || buf.Kind != KindStack {
+		t.Fatalf("Lookup(buf) = %v", buf)
+	}
+	tmp := m.Lookup(base + 256)
+	if tmp == nil || tmp.Name != "solve:tmp" {
+		t.Fatalf("Lookup(tmp) = %v", tmp)
+	}
+	// Beyond the declared locals: no object.
+	if o := m.Lookup(base + 400); o != nil {
+		t.Fatalf("Lookup(padding) = %v", o)
+	}
+	if n := len(m.StackObjects()); n != 2 {
+		t.Fatalf("StackObjects = %d", n)
+	}
+}
+
+func TestFramePopRetiresObjects(t *testing.T) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	m.RegisterFrameLayout("f", []LocalVar{{Name: "x", Offset: 0, Size: 64}})
+
+	base, _ := s.PushFrame("f", 64)
+	obj := m.Lookup(base)
+	if obj == nil {
+		t.Fatal("stack object missing")
+	}
+	if err := s.PopFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Live {
+		t.Fatal("popped stack object still live")
+	}
+	if got := m.Lookup(base); got != nil {
+		t.Fatalf("Lookup after pop = %v", got)
+	}
+	// Counts remain reportable by ID.
+	if m.ByID(obj.ID) != obj {
+		t.Fatal("retired object lost from ID table")
+	}
+}
+
+func TestRecursiveFramesShareNames(t *testing.T) {
+	// The paper's §5: "aggregating data for all instances of the same
+	// local variable". Each activation gets its own object; the shared
+	// name is the aggregation key.
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	m.RegisterFrameLayout("rec", []LocalVar{{Name: "node", Offset: 0, Size: 128}})
+
+	b1, _ := s.PushFrame("rec", 128)
+	b2, _ := s.PushFrame("rec", 128)
+	o1, o2 := m.Lookup(b1), m.Lookup(b2)
+	if o1 == nil || o2 == nil || o1 == o2 {
+		t.Fatalf("activations: %v %v", o1, o2)
+	}
+	if o1.Name != o2.Name || o1.Name != "rec:node" {
+		t.Fatalf("instance names %q / %q", o1.Name, o2.Name)
+	}
+}
+
+func TestLayoutLargerThanFrameSkipsOverflow(t *testing.T) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	m.RegisterFrameLayout("f", []LocalVar{
+		{Name: "fits", Offset: 0, Size: 32},
+		{Name: "overflows", Offset: 32, Size: 1 << 20},
+	})
+	base, _ := s.PushFrame("f", 64)
+	if o := m.Lookup(base); o == nil || o.Name != "f:fits" {
+		t.Fatalf("fits = %v", o)
+	}
+	for _, o := range m.StackObjects() {
+		if o.Name == "f:overflows" {
+			t.Fatal("overflowing local instantiated")
+		}
+	}
+}
+
+func TestUnknownFunctionPushesNoObjects(t *testing.T) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	s.PushFrame("anonymous", 256)
+	if n := len(m.StackObjects()); n != 0 {
+		t.Fatalf("unregistered function created %d stack objects", n)
+	}
+}
+
+func TestArenaGroupedObject(t *testing.T) {
+	s := mem.NewSpace()
+	m := New(s)
+	m.BindSpace(s)
+	a, err := s.NewArena("tree-nodes", 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := a.Alloc(64)
+	p2, _ := a.Alloc(64)
+	o1, o2 := m.Lookup(p1), m.Lookup(p2)
+	if o1 == nil || o1 != o2 {
+		t.Fatalf("arena blocks resolve to different objects: %v vs %v", o1, o2)
+	}
+	if o1.Name != "tree-nodes" || o1.Kind != KindHeap {
+		t.Fatalf("arena object = %v", o1)
+	}
+	// The whole reservation is one object, so a search region covering it
+	// is single-object.
+	if got, ok := m.SingleObject(a.Base(), a.Base()+256<<10); !ok || got != o1 {
+		t.Fatal("arena not a single search unit")
+	}
+}

@@ -1,0 +1,297 @@
+// Package pmu models the hardware performance-monitoring support the paper
+// assumes: a software-selectable number of cache-miss counters, each with a
+// pair of base and bounds registers restricting counting to an address
+// region (as on the Intel Itanium); a global miss counter; a register
+// holding the address of the last cache miss; an interrupt that fires after
+// a chosen number of misses (as on the MIPS R10000/R12000 and Compaq
+// Alpha); and a cycle-count interrupt used as the search technique's
+// iteration timer.
+//
+// The PMU is driven by the simulated machine: RecordMiss is called on every
+// cache miss and TickCycles on every advance of the virtual cycle counter.
+package pmu
+
+import "membottle/internal/mem"
+
+// IrqKind identifies the source of a pending interrupt.
+type IrqKind int
+
+const (
+	// IrqNone means no interrupt is pending.
+	IrqNone IrqKind = iota
+	// IrqMissOverflow fires when the programmed number of global cache
+	// misses has occurred since the last rearm (sampling support).
+	IrqMissOverflow
+	// IrqTimer fires when the virtual cycle counter passes the programmed
+	// deadline (n-way search iteration timer).
+	IrqTimer
+)
+
+func (k IrqKind) String() string {
+	switch k {
+	case IrqNone:
+		return "none"
+	case IrqMissOverflow:
+		return "miss-overflow"
+	case IrqTimer:
+		return "timer"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is one region cache-miss counter with base/bounds registers.
+// A counter counts a miss when Enabled and Base <= addr < Bound.
+type Counter struct {
+	Base    mem.Addr
+	Bound   mem.Addr
+	Count   uint64
+	Enabled bool
+}
+
+// Matches reports whether the counter's region covers a.
+func (c *Counter) Matches(a mem.Addr) bool {
+	return c.Enabled && a >= c.Base && a < c.Bound
+}
+
+// PMU is the performance-monitor state for one simulated processor.
+type PMU struct {
+	counters []Counter
+
+	// GlobalMisses counts every cache miss regardless of address — the
+	// "additional cache miss counter ... for the entire address space".
+	GlobalMisses uint64
+
+	// LastMissAddr is the address that caused the most recent cache miss,
+	// the Itanium-style feature sampling relies on.
+	LastMissAddr mem.Addr
+
+	// Miss-overflow interrupt state.
+	missThreshold uint64 // 0 = disabled
+	missesToGo    uint64
+
+	// Cycle-timer interrupt state.
+	timerDeadline uint64 // 0 = disabled
+	timerArmed    bool
+
+	pendingMiss  bool
+	pendingTimer bool
+
+	// Interrupt delivery statistics.
+	MissIrqs  uint64
+	TimerIrqs uint64
+
+	mux *timeshareMux // nil unless timesharing is enabled
+}
+
+// New returns a PMU with n region counters (plus the implicit global
+// counter). n may be zero for sampling-only use.
+func New(n int) *PMU {
+	return &PMU{counters: make([]Counter, n)}
+}
+
+// NumCounters returns the number of region counters.
+func (p *PMU) NumCounters() int { return len(p.counters) }
+
+// Counter returns a pointer to region counter i for programming.
+func (p *PMU) Counter(i int) *Counter { return &p.counters[i] }
+
+// SetRegion programs counter i to count misses in [base, bound) and resets
+// its count.
+func (p *PMU) SetRegion(i int, base, bound mem.Addr) {
+	p.counters[i] = Counter{Base: base, Bound: bound, Enabled: true}
+}
+
+// DisableCounter turns region counter i off and resets its count.
+func (p *PMU) DisableCounter(i int) {
+	p.counters[i] = Counter{}
+}
+
+// DisableAllCounters turns every region counter off.
+func (p *PMU) DisableAllCounters() {
+	for i := range p.counters {
+		p.counters[i] = Counter{}
+	}
+}
+
+// ReadCounter returns the current count of region counter i, corrected for
+// timeshare scaling when multiplexing is enabled.
+func (p *PMU) ReadCounter(i int) uint64 {
+	if p.mux != nil {
+		return p.mux.read(i)
+	}
+	return p.counters[i].Count
+}
+
+// SetMissInterrupt arms the miss-overflow interrupt to fire every 'every'
+// global misses. every == 0 disables it.
+func (p *PMU) SetMissInterrupt(every uint64) {
+	p.missThreshold = every
+	p.missesToGo = every
+}
+
+// RearmMissInterrupt resets the countdown, optionally with a new interval
+// (pass 0 to keep the current one). Samplers with pseudo-random intervals
+// call this with a fresh interval from their generator on each interrupt.
+func (p *PMU) RearmMissInterrupt(every uint64) {
+	if every != 0 {
+		p.missThreshold = every
+	}
+	p.missesToGo = p.missThreshold
+}
+
+// SetTimer arms the cycle timer to fire when the cycle count reaches
+// deadline. A zero deadline disables the timer.
+func (p *PMU) SetTimer(deadline uint64) {
+	p.timerDeadline = deadline
+	p.timerArmed = deadline != 0
+}
+
+// RecordMiss is called by the machine on every cache miss. It updates the
+// global counter, the matching region counters, and the last-miss-address
+// register, and may mark a miss-overflow interrupt pending.
+func (p *PMU) RecordMiss(a mem.Addr) {
+	p.GlobalMisses++
+	p.LastMissAddr = a
+	if p.mux != nil {
+		p.mux.recordMiss(a)
+	} else {
+		for i := range p.counters {
+			if p.counters[i].Matches(a) {
+				p.counters[i].Count++
+			}
+		}
+	}
+	if p.missThreshold != 0 {
+		p.missesToGo--
+		if p.missesToGo == 0 {
+			p.pendingMiss = true
+			p.missesToGo = p.missThreshold
+		}
+	}
+}
+
+// TickCycles is called by the machine whenever the virtual cycle counter
+// advances. It may mark a timer interrupt pending and drives counter
+// multiplexing when timesharing is enabled.
+func (p *PMU) TickCycles(cycles uint64) {
+	if p.timerArmed && cycles >= p.timerDeadline {
+		p.pendingTimer = true
+		p.timerArmed = false
+	}
+	if p.mux != nil {
+		p.mux.tick(cycles)
+	}
+}
+
+// Pending returns the highest-priority pending interrupt and clears it.
+// Timer interrupts take priority over miss overflows, since the search's
+// bookkeeping must not be starved by a busy sampling configuration.
+func (p *PMU) Pending() IrqKind {
+	if p.pendingTimer {
+		p.pendingTimer = false
+		p.TimerIrqs++
+		return IrqTimer
+	}
+	if p.pendingMiss {
+		p.pendingMiss = false
+		p.MissIrqs++
+		return IrqMissOverflow
+	}
+	return IrqNone
+}
+
+// HasPending reports whether any interrupt is pending without consuming it.
+func (p *PMU) HasPending() bool { return p.pendingTimer || p.pendingMiss }
+
+// Reset clears all counters, interrupts, and statistics.
+func (p *PMU) Reset() {
+	n := len(p.counters)
+	mux := p.mux
+	*p = PMU{counters: make([]Counter, n)}
+	if mux != nil {
+		p.EnableTimesharing(mux.phys, mux.quantum)
+	}
+}
+
+// --- counter timesharing -------------------------------------------------
+
+// EnableTimesharing emulates the paper's alternative of multiplexing fewer
+// physical conditional counters across the n programmed regions: "multiple
+// counters with separate base/bounds could be simulated by timesharing the
+// single conditional counter between regions of interest." Only phys
+// regions are truly counted at any time; assignments rotate every quantum
+// cycles, and ReadCounter scales observed counts by the fraction of time
+// each region was actually monitored. This trades accuracy for hardware,
+// which the ablation benchmarks quantify.
+func (p *PMU) EnableTimesharing(phys int, quantum uint64) {
+	if phys <= 0 || phys >= len(p.counters) || quantum == 0 {
+		p.mux = nil
+		return
+	}
+	p.mux = &timeshareMux{
+		pmu:     p,
+		phys:    phys,
+		quantum: quantum,
+		active:  make([]bool, len(p.counters)),
+		onTime:  make([]uint64, len(p.counters)),
+	}
+	p.mux.rotate(0)
+}
+
+// TimesharingEnabled reports whether counter multiplexing is active.
+func (p *PMU) TimesharingEnabled() bool { return p.mux != nil }
+
+type timeshareMux struct {
+	pmu        *PMU
+	phys       int
+	quantum    uint64
+	rotateAt   uint64
+	first      int      // index of first active region counter
+	active     []bool   // which logical counters are live this quantum
+	onTime     []uint64 // cycles each counter has been live
+	lastRotate uint64
+	totalTime  uint64
+}
+
+func (m *timeshareMux) rotate(now uint64) {
+	n := len(m.pmu.counters)
+	elapsed := now - m.lastRotate
+	for i := 0; i < n; i++ {
+		if m.active[i] {
+			m.onTime[i] += elapsed
+		}
+		m.active[i] = false
+	}
+	m.totalTime += elapsed
+	m.lastRotate = now
+	for k := 0; k < m.phys; k++ {
+		m.active[(m.first+k)%n] = true
+	}
+	m.first = (m.first + m.phys) % n
+	m.rotateAt = now + m.quantum
+}
+
+func (m *timeshareMux) tick(now uint64) {
+	if now >= m.rotateAt {
+		m.rotate(now)
+	}
+}
+
+func (m *timeshareMux) recordMiss(a mem.Addr) {
+	for i := range m.pmu.counters {
+		if m.active[i] && m.pmu.counters[i].Matches(a) {
+			m.pmu.counters[i].Count++
+		}
+	}
+}
+
+// read returns counter i's count scaled up by the inverse of its duty
+// cycle, estimating what a dedicated counter would have seen. Before any
+// rotation has completed, counts are scaled by the static duty n/phys.
+func (m *timeshareMux) read(i int) uint64 {
+	if m.totalTime == 0 || m.onTime[i] == 0 {
+		return m.pmu.counters[i].Count * uint64(len(m.pmu.counters)) / uint64(m.phys)
+	}
+	return uint64(float64(m.pmu.counters[i].Count) * float64(m.totalTime) / float64(m.onTime[i]))
+}

@@ -1,0 +1,263 @@
+package pmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+func TestRegionCounting(t *testing.T) {
+	p := New(3)
+	p.SetRegion(0, 100, 200)
+	p.SetRegion(1, 150, 300) // overlaps counter 0
+	// counter 2 left disabled
+
+	misses := []mem.Addr{50, 100, 150, 199, 200, 250, 299, 300}
+	for _, a := range misses {
+		p.RecordMiss(a)
+	}
+	if got := p.ReadCounter(0); got != 3 { // 100, 150, 199
+		t.Errorf("counter 0 = %d, want 3", got)
+	}
+	if got := p.ReadCounter(1); got != 5 { // 150, 199, 200, 250, 299
+		t.Errorf("counter 1 = %d, want 5", got)
+	}
+	if got := p.ReadCounter(2); got != 0 {
+		t.Errorf("disabled counter = %d, want 0", got)
+	}
+	if p.GlobalMisses != uint64(len(misses)) {
+		t.Errorf("global = %d, want %d", p.GlobalMisses, len(misses))
+	}
+	if p.LastMissAddr != 300 {
+		t.Errorf("last miss addr = %d, want 300", p.LastMissAddr)
+	}
+}
+
+func TestCounterBoundsHalfOpen(t *testing.T) {
+	p := New(1)
+	p.SetRegion(0, 0x1000, 0x2000)
+	p.RecordMiss(0x0fff) // below
+	p.RecordMiss(0x1000) // first included
+	p.RecordMiss(0x1fff) // last included
+	p.RecordMiss(0x2000) // excluded (half-open)
+	if got := p.ReadCounter(0); got != 2 {
+		t.Fatalf("count = %d, want 2 ([base,bound) is half-open)", got)
+	}
+}
+
+func TestMissOverflowInterrupt(t *testing.T) {
+	p := New(0)
+	p.SetMissInterrupt(5)
+	for i := 0; i < 4; i++ {
+		p.RecordMiss(mem.Addr(i))
+		if p.HasPending() {
+			t.Fatalf("interrupt pending after only %d misses", i+1)
+		}
+	}
+	p.RecordMiss(4)
+	if !p.HasPending() {
+		t.Fatal("no interrupt after 5 misses")
+	}
+	if k := p.Pending(); k != IrqMissOverflow {
+		t.Fatalf("Pending = %v, want miss-overflow", k)
+	}
+	if p.HasPending() {
+		t.Fatal("Pending did not consume the interrupt")
+	}
+	// Auto-rearm: 5 more misses raise it again.
+	for i := 0; i < 5; i++ {
+		p.RecordMiss(mem.Addr(i))
+	}
+	if k := p.Pending(); k != IrqMissOverflow {
+		t.Fatalf("second overflow: Pending = %v", k)
+	}
+	if p.MissIrqs != 2 {
+		t.Fatalf("MissIrqs = %d, want 2", p.MissIrqs)
+	}
+}
+
+func TestRearmMissInterruptNewInterval(t *testing.T) {
+	p := New(0)
+	p.SetMissInterrupt(10)
+	for i := 0; i < 3; i++ {
+		p.RecordMiss(0)
+	}
+	p.RearmMissInterrupt(2) // change interval mid-flight
+	p.RecordMiss(0)
+	if p.HasPending() {
+		t.Fatal("pending after 1 of 2")
+	}
+	p.RecordMiss(0)
+	if !p.HasPending() {
+		t.Fatal("no interrupt after rearmed interval elapsed")
+	}
+}
+
+func TestMissInterruptDisabled(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 1000; i++ {
+		p.RecordMiss(0)
+	}
+	if p.HasPending() {
+		t.Fatal("interrupt fired with threshold disabled")
+	}
+}
+
+func TestTimerInterrupt(t *testing.T) {
+	p := New(0)
+	p.SetTimer(1000)
+	p.TickCycles(999)
+	if p.HasPending() {
+		t.Fatal("timer fired early")
+	}
+	p.TickCycles(1000)
+	if k := p.Pending(); k != IrqTimer {
+		t.Fatalf("Pending = %v, want timer", k)
+	}
+	// One-shot: does not re-fire until rearmed.
+	p.TickCycles(5000)
+	if p.HasPending() {
+		t.Fatal("one-shot timer fired twice")
+	}
+	p.SetTimer(6000)
+	p.TickCycles(6001)
+	if k := p.Pending(); k != IrqTimer {
+		t.Fatalf("rearmed timer: Pending = %v", k)
+	}
+	if p.TimerIrqs != 2 {
+		t.Fatalf("TimerIrqs = %d, want 2", p.TimerIrqs)
+	}
+}
+
+func TestTimerPriorityOverMiss(t *testing.T) {
+	p := New(0)
+	p.SetMissInterrupt(1)
+	p.SetTimer(10)
+	p.RecordMiss(0) // miss overflow pending
+	p.TickCycles(10)
+	if k := p.Pending(); k != IrqTimer {
+		t.Fatalf("first Pending = %v, want timer first", k)
+	}
+	if k := p.Pending(); k != IrqMissOverflow {
+		t.Fatalf("second Pending = %v, want miss-overflow", k)
+	}
+	if k := p.Pending(); k != IrqNone {
+		t.Fatalf("third Pending = %v, want none", k)
+	}
+}
+
+func TestIrqKindString(t *testing.T) {
+	for k, want := range map[IrqKind]string{
+		IrqNone: "none", IrqMissOverflow: "miss-overflow", IrqTimer: "timer", IrqKind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("IrqKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestDisableCounter(t *testing.T) {
+	p := New(2)
+	p.SetRegion(0, 0, 100)
+	p.SetRegion(1, 0, 100)
+	p.RecordMiss(50)
+	p.DisableCounter(0)
+	if got := p.ReadCounter(0); got != 0 {
+		t.Fatalf("disabled counter retained count %d", got)
+	}
+	p.RecordMiss(50)
+	if got := p.ReadCounter(0); got != 0 {
+		t.Fatal("disabled counter still counting")
+	}
+	if got := p.ReadCounter(1); got != 2 {
+		t.Fatalf("counter 1 = %d, want 2", got)
+	}
+	p.DisableAllCounters()
+	if got := p.ReadCounter(1); got != 0 {
+		t.Fatal("DisableAllCounters left a count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(4)
+	p.SetRegion(0, 0, 10)
+	p.SetMissInterrupt(1)
+	p.RecordMiss(5)
+	p.Pending()
+	p.Reset()
+	if p.GlobalMisses != 0 || p.MissIrqs != 0 || p.HasPending() {
+		t.Fatal("Reset left state behind")
+	}
+	if p.NumCounters() != 4 {
+		t.Fatalf("Reset changed counter count to %d", p.NumCounters())
+	}
+	for i := 0; i < 1000; i++ {
+		p.RecordMiss(5)
+	}
+	if p.HasPending() {
+		t.Fatal("Reset left miss interrupt armed")
+	}
+}
+
+func TestTimesharingScalesCounts(t *testing.T) {
+	// 10 regions, 2 physical counters rotating every 100 cycles. Misses
+	// arrive uniformly in all regions; scaled counts should approximate
+	// the dedicated-counter counts within a reasonable tolerance.
+	const regions = 10
+	dedicated := New(regions)
+	shared := New(regions)
+	shared.EnableTimesharing(2, 100)
+	if !shared.TimesharingEnabled() {
+		t.Fatal("timesharing not enabled")
+	}
+	for i := 0; i < regions; i++ {
+		lo := mem.Addr(i * 0x1000)
+		dedicated.SetRegion(i, lo, lo+0x1000)
+		shared.SetRegion(i, lo, lo+0x1000)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cycles := uint64(0)
+	for i := 0; i < 200000; i++ {
+		cycles += 3
+		dedicated.TickCycles(cycles)
+		shared.TickCycles(cycles)
+		a := mem.Addr(rng.Intn(regions * 0x1000))
+		dedicated.RecordMiss(a)
+		shared.RecordMiss(a)
+	}
+	for i := 0; i < regions; i++ {
+		want := float64(dedicated.ReadCounter(i))
+		got := float64(shared.ReadCounter(i))
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("region %d: timeshared estimate %v vs dedicated %v (>30%% off)", i, got, want)
+		}
+	}
+}
+
+func TestTimesharingDisabledForBadParams(t *testing.T) {
+	p := New(4)
+	p.EnableTimesharing(0, 100) // phys must be >= 1
+	if p.TimesharingEnabled() {
+		t.Fatal("timesharing enabled with phys=0")
+	}
+	p.EnableTimesharing(4, 100) // phys >= counters: pointless
+	if p.TimesharingEnabled() {
+		t.Fatal("timesharing enabled with phys == counters")
+	}
+	p.EnableTimesharing(2, 0) // zero quantum
+	if p.TimesharingEnabled() {
+		t.Fatal("timesharing enabled with quantum=0")
+	}
+}
+
+func BenchmarkRecordMiss10Counters(b *testing.B) {
+	p := New(10)
+	for i := 0; i < 10; i++ {
+		p.SetRegion(i, mem.Addr(i*0x10000), mem.Addr((i+1)*0x10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RecordMiss(mem.Addr(i & 0xfffff))
+	}
+}

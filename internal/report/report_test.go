@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("a", "1")
+	tbl.AddRow("longer-name", "22")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, separator, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d: %q", len(lines), out)
+	}
+	// The value column must start at the same offset in each row.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("header missing value column")
+	}
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Errorf("row 1 value at col %d, header at %d\n%s", got, idx, out)
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}}
+	tbl.AddRow("x")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Fatal("empty title produced a blank line")
+	}
+}
+
+func TestRenderShortRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b", "c"}}
+	tbl.AddRow("only-one")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "note"}}
+	tbl.AddRow("plain", "ok")
+	tbl.AddRow("with,comma", `say "hi"`)
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "name,note" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "plain,ok" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+	if lines[2] != `"with,comma","say ""hi"""` {
+		t.Fatalf("CSV quoting = %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(22.54) != "22.5" {
+		t.Errorf("Pct = %q", Pct(22.54))
+	}
+	if Pct2(0.456) != "0.46" {
+		t.Errorf("Pct2 = %q", Pct2(0.456))
+	}
+	if Rank(0) != "" {
+		t.Errorf("Rank(0) = %q, want empty", Rank(0))
+	}
+	if Rank(3) != "3" {
+		t.Errorf("Rank(3) = %q", Rank(3))
+	}
+}

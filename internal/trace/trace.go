@@ -1,0 +1,279 @@
+// Package trace records and replays application memory-reference streams
+// in a compact binary format. A recorded trace captures exactly what the
+// paper's ATOM instrumentation captured — the sequence of load/store
+// effective addresses plus intervening computation — and replaying it
+// through a fresh System reproduces the original cache behaviour exactly,
+// which makes traces useful as regression baselines and as portable
+// workloads.
+//
+// Format (little-endian varints, magic "MBTR1\n"):
+//
+//	0x00 <uvarint n>         n compute instructions
+//	0x01 <svarint delta>     load at lastAddr+delta
+//	0x02 <svarint delta>     store at lastAddr+delta
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+)
+
+var magic = []byte("MBTR1\n")
+
+// Errors.
+var (
+	ErrBadMagic = errors.New("trace: bad magic; not a membottle trace")
+	ErrCorrupt  = errors.New("trace: corrupt record")
+)
+
+const (
+	opCompute = 0x00
+	opLoad    = 0x01
+	opStore   = 0x02
+)
+
+// Writer encodes a reference stream.
+type Writer struct {
+	w        *bufio.Writer
+	lastAddr uint64
+	pending  uint64 // batched compute instructions
+	err      error
+	events   uint64
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Events returns the number of records written so far.
+func (t *Writer) Events() uint64 { return t.events }
+
+func (t *Writer) putUvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, t.err = t.w.Write(buf[:n])
+}
+
+func (t *Writer) putByte(b byte) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.w.WriteByte(b)
+}
+
+// Compute records n units of computation. Consecutive calls coalesce.
+func (t *Writer) Compute(n uint64) {
+	t.pending += n
+}
+
+func (t *Writer) flushCompute() {
+	if t.pending == 0 {
+		return
+	}
+	t.putByte(opCompute)
+	t.putUvarint(t.pending)
+	t.pending = 0
+	t.events++
+}
+
+// Ref records one memory reference.
+func (t *Writer) Ref(a mem.Addr, write bool) {
+	t.flushCompute()
+	op := byte(opLoad)
+	if write {
+		op = opStore
+	}
+	t.putByte(op)
+	delta := int64(uint64(a) - t.lastAddr)
+	if t.err == nil {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], delta)
+		_, t.err = t.w.Write(buf[:n])
+	}
+	t.lastAddr = uint64(a)
+	t.events++
+}
+
+// Close flushes the trace. The underlying writer is not closed.
+func (t *Writer) Close() error {
+	t.flushCompute()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a reference stream.
+type Reader struct {
+	r        *bufio.Reader
+	lastAddr uint64
+}
+
+// NewReader opens a trace for reading, validating the magic.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br}, nil
+}
+
+// Event is one decoded trace record.
+type Event struct {
+	// Compute > 0 means a computation record; otherwise a reference.
+	Compute uint64
+	Addr    mem.Addr
+	Write   bool
+}
+
+// Next decodes one record. It returns io.EOF at a clean end of trace.
+func (t *Reader) Next() (Event, error) {
+	op, err := t.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF at end
+	}
+	switch op {
+	case opCompute:
+		n, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("%w: compute: %v", ErrCorrupt, err)
+		}
+		return Event{Compute: n}, nil
+	case opLoad, opStore:
+		delta, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("%w: ref: %v", ErrCorrupt, err)
+		}
+		t.lastAddr += uint64(delta)
+		return Event{Addr: mem.Addr(t.lastAddr), Write: op == opStore}, nil
+	default:
+		return Event{}, fmt.Errorf("%w: opcode %#x", ErrCorrupt, op)
+	}
+}
+
+// Record runs a workload for budget application instructions on a scratch
+// machine and writes its reference stream (loads, stores, and computation)
+// to w. The workload's Setup runs on the scratch machine; its allocations
+// and globals are not part of the trace, so replaying requires a
+// compatible address-space setup or treats addresses as opaque.
+func Record(w io.Writer, wl machine.Workload, m *machine.Machine, budget uint64) (*Writer, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	prevRef := m.OnRef
+	lastInsts := m.AppInsts
+	m.OnRef = func(a mem.Addr, write bool) {
+		if prevRef != nil {
+			prevRef(a, write)
+		}
+		// AppInsts has already been incremented for this reference, so the
+		// computation executed since the previous reference is the gap
+		// minus the reference instruction itself.
+		if gap := m.AppInsts - lastInsts - 1; gap > 0 {
+			tw.Compute(gap)
+		}
+		tw.Ref(a, write)
+		lastInsts = m.AppInsts
+	}
+	m.Run(wl, budget)
+	m.OnRef = prevRef
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Replay is a machine.Workload that re-issues a decoded trace. The whole
+// trace is loaded into memory so replay can cycle past the end (workloads
+// must be cyclic).
+type Replay struct {
+	name   string
+	events []Event
+	pos    int
+}
+
+// NewReplay reads an entire trace from r.
+func NewReplay(name string, r io.Reader) (*Replay, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return &Replay{name: name, events: events}, nil
+}
+
+// Len returns the number of events in the trace.
+func (r *Replay) Len() int { return len(r.events) }
+
+// Name implements machine.Workload.
+func (r *Replay) Name() string { return "replay:" + r.name }
+
+// Setup implements machine.Workload. Replay performs no allocation; pair
+// it with RegisterExtent or a matching workload Setup if object-level
+// attribution is wanted.
+func (r *Replay) Setup(m *machine.Machine) {}
+
+// Step replays a bounded chunk of the trace, wrapping at the end.
+func (r *Replay) Step(m *machine.Machine) {
+	const chunk = 4096
+	for i := 0; i < chunk; i++ {
+		r.issue(m, r.events[r.pos])
+		r.pos++
+		if r.pos == len(r.events) {
+			r.pos = 0
+		}
+	}
+}
+
+// ReplayOnce issues every event in the trace exactly once, regardless of
+// instruction budgets — a bit-exact re-execution of the recorded run.
+func (r *Replay) ReplayOnce(m *machine.Machine) {
+	for _, ev := range r.events {
+		r.issue(m, ev)
+	}
+}
+
+func (r *Replay) issue(m *machine.Machine, ev Event) {
+	switch {
+	case ev.Compute > 0:
+		m.Compute(ev.Compute)
+	case ev.Write:
+		m.Store(ev.Addr)
+	default:
+		m.Load(ev.Addr)
+	}
+}

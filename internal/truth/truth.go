@@ -1,0 +1,142 @@
+// Package truth provides exact per-object cache-miss accounting, playing
+// the role of the "lower levels of the simulator, separate from the
+// sampling and search code" that produce the paper's "Actual" columns.
+// It observes misses through the machine's OnMiss hook at zero simulated
+// cost: ground truth never perturbs the measurement.
+package truth
+
+import (
+	"sort"
+
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+)
+
+// Row is one object's exact measurement.
+type Row struct {
+	Object *objmap.Object
+	Misses uint64
+	// Pct is the object's share of all application misses, 0..100.
+	Pct float64
+}
+
+// Counter accumulates exact per-object miss counts for application misses
+// (instrumentation-handler misses are excluded: ground truth describes the
+// application, and separate cache statistics capture total perturbation).
+type Counter struct {
+	om     *objmap.Map
+	m      *machine.Machine
+	counts map[int]uint64
+	// Total counts all application misses, matched to an object or not.
+	Total uint64
+	// Unmatched counts application misses outside any known object.
+	Unmatched uint64
+
+	// BucketCycles, if non-zero, additionally records a time series of
+	// per-object miss counts in buckets of that many virtual cycles
+	// (Figure 5's "cache misses over time").
+	BucketCycles uint64
+	buckets      []map[int]uint64
+}
+
+// Attach installs the counter on the machine, chaining any existing
+// OnMiss observer.
+func Attach(m *machine.Machine, om *objmap.Map) *Counter {
+	c := &Counter{om: om, m: m, counts: make(map[int]uint64)}
+	prev := m.OnMiss
+	m.OnMiss = func(a mem.Addr, write, inHandler bool) {
+		if prev != nil {
+			prev(a, write, inHandler)
+		}
+		if inHandler {
+			return
+		}
+		c.Total++
+		obj := om.Lookup(a)
+		if obj == nil {
+			c.Unmatched++
+			return
+		}
+		c.counts[obj.ID]++
+		if c.BucketCycles != 0 {
+			b := int(m.Cycles / c.BucketCycles)
+			for len(c.buckets) <= b {
+				c.buckets = append(c.buckets, make(map[int]uint64))
+			}
+			c.buckets[b][obj.ID]++
+		}
+	}
+	return c
+}
+
+// Misses returns the exact miss count for the named object (0 if unknown).
+func (c *Counter) Misses(name string) uint64 {
+	for id, n := range c.counts {
+		if c.om.ByID(id).Name == name {
+			return n
+		}
+	}
+	return 0
+}
+
+// Pct returns the named object's share of all application misses.
+func (c *Counter) Pct(name string) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Misses(name)) / float64(c.Total)
+}
+
+// Ranked returns all objects with at least one miss, sorted by miss count
+// descending (ties broken by object ID).
+func (c *Counter) Ranked() []Row {
+	out := make([]Row, 0, len(c.counts))
+	for id, n := range c.counts {
+		pct := 0.0
+		if c.Total > 0 {
+			pct = 100 * float64(n) / float64(c.Total)
+		}
+		out = append(out, Row{Object: c.om.ByID(id), Misses: n, Pct: pct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+// RankOf returns the 1-based rank of the named object (0 if absent).
+func (c *Counter) RankOf(name string) int {
+	for i, r := range c.Ranked() {
+		if r.Object.Name == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Series returns the per-bucket miss counts for the named object, padded
+// to the full number of buckets observed.
+func (c *Counter) Series(name string) []uint64 {
+	var id = -1
+	for _, o := range c.om.Objects() {
+		if o.Name == name {
+			id = o.ID
+			break
+		}
+	}
+	out := make([]uint64, len(c.buckets))
+	if id < 0 {
+		return out
+	}
+	for b, m := range c.buckets {
+		out[b] = m[id]
+	}
+	return out
+}
+
+// Buckets returns the number of time buckets recorded.
+func (c *Counter) Buckets() int { return len(c.buckets) }

@@ -1,0 +1,120 @@
+package truth
+
+import (
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/pmu"
+)
+
+func rig() (*machine.Machine, *objmap.Map, *Counter, mem.Addr, mem.Addr) {
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.Config{Size: 4096, LineSize: 64, Assoc: 2}), pmu.New(0), machine.DefaultCosts())
+	a := space.MustDefineGlobal("A", 4096)
+	b := space.MustDefineGlobal("B", 4096)
+	om := objmap.New(space)
+	om.BindSpace(space)
+	c := Attach(m, om)
+	return m, om, c, a, b
+}
+
+func TestCountsPerObject(t *testing.T) {
+	m, _, c, a, b := rig()
+	// 64 cold misses in A, 16 in B (stride = line size).
+	for i := 0; i < 64; i++ {
+		m.Load(a + mem.Addr(i*64))
+	}
+	for i := 0; i < 16; i++ {
+		m.Load(b + mem.Addr(i*64))
+	}
+	if c.Misses("A") != 64 || c.Misses("B") != 16 {
+		t.Fatalf("A=%d B=%d", c.Misses("A"), c.Misses("B"))
+	}
+	if c.Total != 80 {
+		t.Fatalf("Total = %d", c.Total)
+	}
+	if got := c.Pct("A"); got != 80 {
+		t.Fatalf("Pct(A) = %v", got)
+	}
+	if c.RankOf("A") != 1 || c.RankOf("B") != 2 {
+		t.Fatalf("ranks: A=%d B=%d", c.RankOf("A"), c.RankOf("B"))
+	}
+	if c.RankOf("missing") != 0 {
+		t.Fatal("rank of unknown object not 0")
+	}
+	ranked := c.Ranked()
+	if len(ranked) != 2 || ranked[0].Object.Name != "A" || ranked[0].Misses != 64 {
+		t.Fatalf("Ranked = %+v", ranked)
+	}
+}
+
+func TestUnmatchedMisses(t *testing.T) {
+	m, _, c, _, _ := rig()
+	m.Load(mem.HeapBase + 0x100000) // no object there
+	if c.Total != 1 || c.Unmatched != 1 {
+		t.Fatalf("Total=%d Unmatched=%d", c.Total, c.Unmatched)
+	}
+}
+
+func TestHandlerMissesExcluded(t *testing.T) {
+	m, _, c, a, _ := rig()
+	m.PMU.SetMissInterrupt(1)
+	m.MissHandler = func(mm *machine.Machine) { mm.Load(mem.ShadowBase) }
+	m.Load(a)
+	// The app miss counts; the handler's shadow miss must not.
+	if c.Total != 1 {
+		t.Fatalf("Total = %d, want 1 (handler misses excluded)", c.Total)
+	}
+}
+
+func TestBucketsSeries(t *testing.T) {
+	m, _, c, a, _ := rig()
+	c.BucketCycles = 1000
+	// Generate misses spread over cycles.
+	for i := 0; i < 32; i++ {
+		m.Load(a + mem.Addr(i*64))
+		m.Compute(500)
+	}
+	if c.Buckets() < 2 {
+		t.Fatalf("only %d buckets", c.Buckets())
+	}
+	series := c.Series("A")
+	sum := uint64(0)
+	for _, v := range series {
+		sum += v
+	}
+	if sum != c.Misses("A") {
+		t.Fatalf("series sums to %d, misses = %d", sum, c.Misses("A"))
+	}
+	// Unknown object: zero series of the same length.
+	zero := c.Series("nope")
+	if len(zero) != len(series) {
+		t.Fatalf("zero series length %d vs %d", len(zero), len(series))
+	}
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("unknown object has counts")
+		}
+	}
+}
+
+func TestChainedObservers(t *testing.T) {
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.Config{Size: 4096, LineSize: 64, Assoc: 2}), pmu.New(0), machine.DefaultCosts())
+	a := space.MustDefineGlobal("A", 4096)
+	om := objmap.New(space)
+	om.BindSpace(space)
+	var prior int
+	m.OnMiss = func(addr mem.Addr, write, inHandler bool) { prior++ }
+	c := Attach(m, om)
+	m.Load(a)
+	if prior != 1 {
+		t.Fatal("pre-existing OnMiss observer not chained")
+	}
+	if c.Total != 1 {
+		t.Fatal("counter missed the event")
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+)
+
+// Compress recreates SPEC95 129.compress, the LZW text compressor.
+// Unlike the array-sweeping floating-point codes, compress streams bytes:
+// it reads the input buffer sequentially, probes a hash table that mostly
+// stays cache-resident, and appends compressed codes to the output buffer.
+// The paper's per-object miss shares (Table 1):
+//
+//	orig_text_buffer 63.0%   comp_text_buffer 35.6%   htab 1.3%   codetab 0.2%
+//
+// and compress has a *low* overall miss rate (361 misses per million
+// cycles) because of the per-byte hashing work — which is why it is one of
+// the two applications where sampling perturbation is most visible in
+// Figure 3.
+type Compress struct {
+	orig, comp, htab, codetab mem.Addr
+	inPos, outPos             uint64
+	rng                       *xorshift64
+	dictEntries               uint64
+}
+
+func init() { register("compress", func() machine.Workload { return &Compress{} }) }
+
+// Buffer sizes. SPEC compress's hash table is ~550 KB and its misses over
+// a full reference run are almost entirely cold and conflict misses
+// (1.3% of the total). Our runs are orders of magnitude shorter than a
+// SPEC reference execution, so the tables are scaled down to keep their
+// cold-miss share at the paper's level; the table stays cache-resident in
+// steady state either way, which is the behaviour that matters.
+const (
+	compressOrig    = 8 << 20 // input text (wraps)
+	compressComp    = 5 << 20 // output buffer (wraps)
+	compressHtab    = 64 << 10
+	compressCodetab = 16 << 10
+	compressChunk   = 4096 // input bytes processed per Step
+)
+
+// Name implements machine.Workload.
+func (w *Compress) Name() string { return "compress" }
+
+// Setup implements machine.Workload.
+func (w *Compress) Setup(m *machine.Machine) {
+	w.orig = m.Space.MustDefineGlobal("orig_text_buffer", compressOrig)
+	w.comp = m.Space.MustDefineGlobal("comp_text_buffer", compressComp)
+	w.htab = m.Space.MustDefineGlobal("htab", compressHtab)
+	w.codetab = m.Space.MustDefineGlobal("codetab", compressCodetab)
+	w.rng = newXorshift(129) // deterministic corpus in lieu of SPEC input
+}
+
+// Step compresses one chunk of input. The LZW dynamics are modelled
+// behaviourally: sequential input reads, hash-table probes whose index
+// depends on a rolling hash of recent input, and output writes at the
+// empirically measured SPEC compression ratio (~1.77:1), so output misses
+// come out at roughly 35.6/63.0 of input misses.
+func (w *Compress) Step(m *machine.Machine) {
+	hash := uint64(0)
+	for i := uint64(0); i < compressChunk; i++ {
+		// Read one input byte (sequential; one miss per 64 bytes).
+		m.Load(w.orig + mem.Addr(w.inPos%compressOrig))
+		w.inPos++
+		// Rolling hash of the (synthetic) input byte + match search: the
+		// dominant compute cost.
+		hash = hash*33 + (w.rng.next() & 0xff)
+		m.Compute(52)
+		// Probe the hash table every other byte (code lookup).
+		if i%2 == 0 {
+			slot := hash % (compressHtab / 8)
+			m.Load(w.htab + mem.Addr(slot*8))
+			m.Compute(6)
+		}
+		// A new dictionary entry roughly every fourth byte: htab insert
+		// plus an occasional codetab update.
+		if i%4 == 1 {
+			slot := hash % (compressHtab / 8)
+			m.Store(w.htab + mem.Addr(slot*8))
+			w.dictEntries++
+			if w.dictEntries%16 == 0 {
+				m.Store(w.codetab + mem.Addr((w.dictEntries/16*8)%compressCodetab))
+			}
+		}
+		// Emit compressed output at the SPEC ratio: on average 9 output
+		// bytes per 16 input bytes (1.78:1), written sequentially,
+		// wrapping. Emission is stochastic, as real LZW output is —
+		// variable-length matches make the output byte positions
+		// aperiodic relative to the input, so the miss stream has no
+		// fixed period for a sampling interval to resonate with.
+		if w.rng.intn(16) < 9 {
+			m.Store(w.comp + mem.Addr(w.outPos%compressComp))
+			w.outPos++
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/core"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/pmu"
+	"membottle/internal/truth"
+)
+
+func TestExtensionAppsRegistered(t *testing.T) {
+	for _, name := range ExtensionApps() {
+		w, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name() != name {
+			t.Fatalf("%s: Name() = %q", name, w.Name())
+		}
+	}
+}
+
+func TestMcfArenaAttribution(t *testing.T) {
+	// mcf's arcs and nodes live in allocation arenas, so every block in an
+	// arena is attributed to one grouped object ("arcs" / "nodes") — the
+	// paper's §5 related-blocks proposal.
+	c, _ := runTruth(t, "mcf", 20_000_000)
+	arcs := c.Pct("arcs")
+	nodes := c.Pct("nodes")
+	basket := c.Pct("perm_basket")
+	t.Logf("mcf: arcs=%.1f%% nodes=%.1f%% basket=%.1f%%", arcs, nodes, basket)
+	if c.RankOf("arcs") != 1 {
+		t.Errorf("arcs not the top object (rank %d)", c.RankOf("arcs"))
+	}
+	if arcs < 50 {
+		t.Errorf("arcs at %.1f%%, expected dominant", arcs)
+	}
+	if nodes < 10 {
+		t.Errorf("nodes at %.1f%%, expected substantial", nodes)
+	}
+	// The basket is hot and mostly resident; the random walks miss almost
+	// always. mcf's pointer-chasing should give it a much higher overall
+	// miss ratio than the streaming codes.
+	if basket > arcs/2 {
+		t.Errorf("basket at %.1f%% vs arcs %.1f%%", basket, arcs)
+	}
+}
+
+func TestMcfMissRatioHigh(t *testing.T) {
+	// Pointer chasing misses on nearly every dependent load; streaming
+	// codes miss once per line (1/8 of references).
+	cm, mm := runTruth(t, "mcf", 15_000_000)
+	mcfRatio := float64(cm.Total) / float64(mm.Cache.Stats.Accesses())
+	ca, ma := runTruth(t, "art", 15_000_000)
+	artRatio := float64(ca.Total) / float64(ma.Cache.Stats.Accesses())
+	t.Logf("miss ratio: mcf=%.3f art=%.3f", mcfRatio, artRatio)
+	if mcfRatio < 3*artRatio {
+		t.Errorf("mcf miss ratio %.3f not much higher than art's %.3f", mcfRatio, artRatio)
+	}
+}
+
+func TestArtDistribution(t *testing.T) {
+	c, _ := runTruth(t, "art", 40_000_000)
+	// tds 16 of 24 MiB-per-round = 66.7%, bus 16.7%, f1 16.7%.
+	if c.RankOf("tds") != 1 {
+		t.Errorf("tds ranked %d, want 1", c.RankOf("tds"))
+	}
+	tds := c.Pct("tds")
+	if tds < 60 || tds > 73 {
+		t.Errorf("tds at %.1f%%, want ~66.7%%", tds)
+	}
+}
+
+func TestEquakeGatherDominates(t *testing.T) {
+	c, _ := runTruth(t, "equake", 30_000_000)
+	k, col, disp := c.Pct("K"), c.Pct("col"), c.Pct("disp")
+	t.Logf("equake: K=%.1f%% col=%.1f%% disp=%.1f%%", k, col, disp)
+	// Every gather misses (random over 6 MiB); K misses once per line.
+	if disp < k {
+		t.Errorf("gather target disp (%.1f%%) should out-miss streamed K (%.1f%%)", disp, k)
+	}
+	if col > k {
+		t.Errorf("sparse col index (%.1f%%) should miss less than K (%.1f%%)", col, k)
+	}
+}
+
+// TestSearchFindsArenaGroup runs the ten-way search on mcf: the grouped
+// arena objects must be found as units, which is exactly what the paper's
+// §5 contiguous-placement proposal buys the search technique.
+func TestSearchFindsArenaGroup(t *testing.T) {
+	w := MustNew("mcf")
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.DefaultConfig()), pmu.New(10), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w.Setup(m)
+	om.SyncGlobals(space)
+	tc := truth.Attach(m, om)
+
+	s := core.NewSearch(core.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := s.Install(m, om); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(w, 60_000_000)
+
+	es := s.Estimates()
+	if len(es) == 0 {
+		t.Fatal("search found nothing on mcf")
+	}
+	if es[0].Object.Name != "arcs" {
+		t.Fatalf("search top = %s, want the arcs arena (actual arcs %.1f%%)", es[0].Object.Name, tc.Pct("arcs"))
+	}
+	d := es[0].Pct - tc.Pct("arcs")
+	if d < -8 || d > 8 {
+		t.Errorf("arcs estimated %.1f%% vs actual %.1f%%", es[0].Pct, tc.Pct("arcs"))
+	}
+}

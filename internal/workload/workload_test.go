@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/pmu"
+	"membottle/internal/truth"
+)
+
+// runTruth executes a workload uninstrumented on the paper's 2 MB cache
+// and returns exact per-object accounting.
+func runTruth(t *testing.T, name string, budget uint64) (*truth.Counter, *machine.Machine) {
+	t.Helper()
+	w, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.DefaultConfig()), pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w.Setup(m)
+	om.SyncGlobals(space)
+	c := truth.Attach(m, om)
+	m.Run(w, budget)
+	return c, m
+}
+
+// checkPcts asserts measured per-object shares against the paper's
+// "Actual" column within tol percentage points.
+func checkPcts(t *testing.T, c *truth.Counter, want map[string]float64, tol float64) {
+	t.Helper()
+	for name, wantPct := range want {
+		got := c.Pct(name)
+		if math.Abs(got-wantPct) > tol {
+			t.Errorf("%s: measured %.1f%%, paper actual %.1f%% (tol %.1f)", name, got, wantPct, tol)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg", "figure2", "mcf", "art", "equake"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v, want %v", names, want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range want {
+		if !seen[n] {
+			t.Errorf("workload %q not registered", n)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	w := MustNew("tomcatv")
+	if w.Name() != "tomcatv" {
+		t.Fatalf("MustNew returned %q", w.Name())
+	}
+}
+
+func TestStrideSchedulingSpreads(t *testing.T) {
+	order := stride([]int{4, 2, 1})
+	if len(order) != 7 {
+		t.Fatalf("order length %d, want 7", len(order))
+	}
+	// Entry 0 (weight 4) must never appear 3+ times consecutively.
+	run := 0
+	for _, idx := range append(order, order...) { // include wraparound
+		if idx == 0 {
+			run++
+			if run >= 3 {
+				t.Fatalf("entry 0 appears %d times in a row: %v", run, order)
+			}
+		} else {
+			run = 0
+		}
+	}
+	// Counts must match weights.
+	counts := map[int]int{}
+	for _, idx := range order {
+		counts[idx]++
+	}
+	if counts[0] != 4 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestTomcatvDistribution(t *testing.T) {
+	c, _ := runTruth(t, "tomcatv", 80_000_000)
+	checkPcts(t, c, map[string]float64{
+		"RX": 22.5, "RY": 22.5, "AA": 15.0, "DD": 10.0, "X": 10.0, "Y": 10.0, "D": 10.0,
+	}, 2.5)
+	if c.RankOf("RX") > 2 || c.RankOf("RY") > 2 {
+		t.Errorf("RX/RY not the top two: RX=%d RY=%d", c.RankOf("RX"), c.RankOf("RY"))
+	}
+}
+
+func TestSwimDistribution(t *testing.T) {
+	c, _ := runTruth(t, "swim", 50_000_000)
+	for _, g := range swimGrids {
+		got := c.Pct(g)
+		if math.Abs(got-7.7) > 1.5 {
+			t.Errorf("%s: measured %.2f%%, want ~7.7%%", g, got)
+		}
+	}
+}
+
+func TestSu2corDistribution(t *testing.T) {
+	c, _ := runTruth(t, "su2cor", 170_000_000)
+	checkPcts(t, c, map[string]float64{
+		"U": 57.1, "R": 6.9, "S": 6.6, "W2 - intact": 3.9, "W2 - sweep": 3.7, "B": 2.3,
+	}, 3.0)
+	if c.RankOf("U") != 1 {
+		t.Errorf("U ranked %d, want 1", c.RankOf("U"))
+	}
+}
+
+func TestSu2corPhasesShift(t *testing.T) {
+	// Early in the run, U must NOT dominate (that is what breaks the
+	// 2-way search in the paper); over the whole run it must.
+	w := MustNew("su2cor")
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.DefaultConfig()), pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w.Setup(m)
+	om.SyncGlobals(space)
+	c := truth.Attach(m, om)
+	m.Run(w, 8_000_000) // inside phase A
+	if early := c.Pct("U"); early > 40 {
+		t.Errorf("U already at %.1f%% early in the run; phase A should suppress it", early)
+	}
+	if c.Pct("R") < c.Pct("U")/3 {
+		t.Errorf("R (%.1f%%) not prominent early vs U (%.1f%%)", c.Pct("R"), c.Pct("U"))
+	}
+}
+
+func TestMgridDistribution(t *testing.T) {
+	c, _ := runTruth(t, "mgrid", 50_000_000)
+	checkPcts(t, c, map[string]float64{"U": 40.8, "R": 40.4, "V": 18.8}, 2.0)
+}
+
+func TestMgridHasHighestMissRate(t *testing.T) {
+	// The paper orders miss rates mgrid >> compress > ijpeg; Figure 3's
+	// explanation depends on it.
+	rate := func(name string) float64 {
+		c, m := runTruth(t, name, 20_000_000)
+		return float64(c.Total) / float64(m.Cycles) * 1e6
+	}
+	mgrid := rate("mgrid")
+	compress := rate("compress")
+	ijpeg := rate("ijpeg")
+	t.Logf("misses per Mcycle: mgrid=%.0f compress=%.0f ijpeg=%.0f (paper: 6827, 361, 144)", mgrid, compress, ijpeg)
+	if !(mgrid > compress && compress > ijpeg) {
+		t.Errorf("miss-rate ordering violated: mgrid=%.0f compress=%.0f ijpeg=%.0f", mgrid, compress, ijpeg)
+	}
+	if ijpeg > 400 {
+		t.Errorf("ijpeg miss rate %.0f too high to reproduce Figure 3's outlier behaviour", ijpeg)
+	}
+}
+
+func TestAppluDistribution(t *testing.T) {
+	c, _ := runTruth(t, "applu", 80_000_000)
+	checkPcts(t, c, map[string]float64{
+		"a": 22.9, "b": 22.9, "c": 22.6, "d": 17.4, "rsd": 6.9,
+	}, 2.5)
+}
+
+func TestAppluPhases(t *testing.T) {
+	// Figure 5: a/b/c periodically cause no misses during an interval.
+	w := MustNew("applu")
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.DefaultConfig()), pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w.Setup(m)
+	om.SyncGlobals(space)
+	c := truth.Attach(m, om)
+	c.BucketCycles = 2_000_000
+	m.Run(w, 120_000_000)
+
+	aSeries := c.Series("a")
+	rsdSeries := c.Series("rsd")
+	if len(aSeries) < 10 {
+		t.Fatalf("only %d buckets", len(aSeries))
+	}
+	zeroA, zeroRsd := 0, 0
+	bothActive := 0
+	for i := range aSeries {
+		if aSeries[i] == 0 {
+			zeroA++
+		}
+		if rsdSeries[i] == 0 {
+			zeroRsd++
+		}
+		if aSeries[i] > 0 && rsdSeries[i] > 0 {
+			bothActive++
+		}
+	}
+	if zeroA == 0 {
+		t.Error("array a never has a zero-miss interval; applu must exhibit phases")
+	}
+	if zeroA == len(aSeries) {
+		t.Error("array a never active")
+	}
+	if zeroRsd == 0 {
+		t.Error("rsd never has a zero-miss interval")
+	}
+	t.Logf("buckets=%d zero(a)=%d zero(rsd)=%d both=%d", len(aSeries), zeroA, zeroRsd, bothActive)
+}
+
+func TestCompressDistribution(t *testing.T) {
+	c, _ := runTruth(t, "compress", 150_000_000)
+	checkPcts(t, c, map[string]float64{
+		"orig_text_buffer": 63.0, "comp_text_buffer": 35.6,
+	}, 3.0)
+	if got := c.Pct("htab"); got > 4 {
+		t.Errorf("htab at %.2f%%, want small (~1.3%%)", got)
+	}
+	if got := c.Pct("codetab"); got > 1 {
+		t.Errorf("codetab at %.2f%%, want ~0.2%%", got)
+	}
+	if c.RankOf("orig_text_buffer") != 1 || c.RankOf("comp_text_buffer") != 2 {
+		t.Error("compress buffer ranking wrong")
+	}
+}
+
+func TestIjpegDistributionAndAddresses(t *testing.T) {
+	w := MustNew("ijpeg").(*Ijpeg)
+	space := mem.NewSpace()
+	m := machine.New(space, cache.New(cache.DefaultConfig()), pmu.New(0), machine.DefaultCosts())
+	om := objmap.New(space)
+	om.BindSpace(space)
+	w.Setup(m)
+	om.SyncGlobals(space)
+	c := truth.Attach(m, om)
+	m.Run(w, 60_000_000)
+
+	image, ws := w.Blocks()
+	if image != 0x141020000 {
+		t.Errorf("image block at %#x, want 0x141020000 (paper Table 1)", uint64(image))
+	}
+	if ws != 0x14101e000 {
+		t.Errorf("workspace block at %#x, want 0x14101e000", uint64(ws))
+	}
+	if got := c.Pct("0x141020000"); math.Abs(got-84.7) > 4 {
+		t.Errorf("image block at %.1f%%, paper 84.7%%", got)
+	}
+	if got := c.Pct("jpeg_compressed_data"); math.Abs(got-12.5) > 3 {
+		t.Errorf("compressed data at %.1f%%, paper 12.5%%", got)
+	}
+	wsPct := c.Pct("0x14101e000")
+	if wsPct <= 0.05 || wsPct > 1.5 {
+		t.Errorf("workspace at %.2f%%, paper 0.5%%", wsPct)
+	}
+	if got := c.Pct("std_chrominance_quant_tbl"); got > 0.1 {
+		t.Errorf("quant table at %.3f%%, paper 0.0%%", got)
+	}
+	if c.RankOf("0x141020000") != 1 {
+		t.Error("image heap block not rank 1")
+	}
+}
+
+func TestFigure2Distribution(t *testing.T) {
+	c, _ := runTruth(t, "figure2", 90_000_000)
+	checkPcts(t, c, map[string]float64{
+		"A": 20, "B": 20, "C": 20, "D": 5, "E": 25, "F": 10,
+	}, 2.0)
+	// The structural property Figure 2 depends on: top half > bottom half,
+	// yet E is the hottest single array.
+	topHalf := c.Pct("A") + c.Pct("B") + c.Pct("C")
+	bottomHalf := c.Pct("D") + c.Pct("E") + c.Pct("F")
+	if topHalf <= bottomHalf {
+		t.Errorf("top half %.1f%% <= bottom half %.1f%%", topHalf, bottomHalf)
+	}
+	if c.RankOf("E") != 1 {
+		t.Errorf("E ranked %d, want 1", c.RankOf("E"))
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"tomcatv", "compress", "ijpeg"} {
+		c1, m1 := runTruth(t, name, 5_000_000)
+		c2, m2 := runTruth(t, name, 5_000_000)
+		if c1.Total != c2.Total || m1.Cycles != m2.Cycles {
+			t.Errorf("%s: two identical runs diverged (misses %d vs %d, cycles %d vs %d)",
+				name, c1.Total, c2.Total, m1.Cycles, m2.Cycles)
+		}
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := newXorshift(42), newXorshift(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("xorshift not deterministic")
+		}
+	}
+	z := newXorshift(0)
+	if z.next() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+	for i := 0; i < 100; i++ {
+		if v := z.intn(10); v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package membottle reproduces the system of Buck & Hollingsworth,
+// "Using Hardware Performance Monitors to Isolate Memory Bottlenecks"
+// (SC 2000): a simulation environment in which two data-centric cache
+// profiling techniques — cache-miss address sampling and an n-way search
+// over the address space using base/bounds miss counters — attribute
+// cache misses to source-level data structures.
+//
+// A System bundles a simulated machine (virtual CPU + set-associative
+// cache + performance-monitor unit) with an object map. Load a workload
+// (one of the built-in SPEC95 recreations or your own machine.Workload),
+// attach a Profiler (NewSampler or NewSearch), Run, and read the ranked
+// Estimates:
+//
+//	sys := membottle.NewSystem(membottle.DefaultConfig())
+//	if err := sys.LoadWorkloadByName("tomcatv"); err != nil { ... }
+//	prof := membottle.NewSearch(membottle.SearchConfig{N: 10})
+//	if err := sys.Attach(prof); err != nil { ... }
+//	sys.Run(100_000_000)
+//	for _, e := range prof.Estimates() {
+//	    fmt.Printf("%-8s %5.1f%%\n", e.Object.Name, e.Pct)
+//	}
+//
+// The profiler's own code runs *inside* the simulation: its handler
+// cycles (including the 8,800-cycle interrupt delivery cost the paper
+// measured on an SGI Octane) and its cache footprint are part of the
+// simulated execution, so instrumentation cost (Figure 4) and cache
+// perturbation (Figure 3) are measurable via Overhead and the cache
+// statistics.
+package membottle
+
+import (
+	"fmt"
+
+	"membottle/internal/cache"
+	"membottle/internal/core"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/pmu"
+	"membottle/internal/truth"
+	"membottle/internal/workload"
+)
+
+// Re-exported configuration and result types, so that typical use needs
+// only this package.
+type (
+	// CacheConfig describes the simulated cache geometry.
+	CacheConfig = cache.Config
+	// CostModel holds the virtual-cycle charges of the simulated CPU.
+	CostModel = machine.CostModel
+	// Machine is the simulated processor workloads run on; custom
+	// workloads receive it in Setup and Step and issue references through
+	// its Load, Store, Compute, and Malloc methods.
+	Machine = machine.Machine
+	// Workload is a simulated application; implement it to profile your
+	// own access patterns.
+	Workload = machine.Workload
+	// Profiler is either technique: *Sampler or *Search.
+	Profiler = core.Profiler
+	// Estimate is one ranked result row.
+	Estimate = core.Estimate
+	// SamplerConfig configures miss-address sampling (§2.1 of the paper).
+	SamplerConfig = core.SamplerConfig
+	// SearchConfig configures the n-way search (§2.2 of the paper).
+	SearchConfig = core.SearchConfig
+	// Sampler is the miss-address sampling profiler.
+	Sampler = core.Sampler
+	// Search is the n-way search profiler.
+	Search = core.Search
+	// IntervalMode selects fixed, prime, or random sample spacing.
+	IntervalMode = core.IntervalMode
+	// GroundTruth is the exact per-object accounting of a run.
+	GroundTruth = truth.Counter
+	// ObjectMap resolves addresses to program objects; reachable as
+	// System.Objects for frame-layout registration and inspection.
+	ObjectMap = objmap.Map
+	// Object is one profiled program object (global, heap block, arena
+	// group, or stack variable).
+	Object = objmap.Object
+	// LocalVar declares one local variable of a frame layout, standing in
+	// for debug information (stack-variable support, the paper's §5).
+	LocalVar = objmap.LocalVar
+	// Arena groups related heap allocations contiguously so the search
+	// can treat them as a unit (the paper's §5); create via
+	// System.Machine.Space.NewArena.
+	Arena = mem.Arena
+)
+
+// AggregateByName merges estimates whose objects share a name — all
+// activations of the same stack local, or all blocks of one allocation
+// site (the paper's §5 aggregation proposal).
+func AggregateByName(es []Estimate) []Estimate { return core.AggregateByName(es) }
+
+// Interval modes for SamplerConfig.Mode.
+const (
+	IntervalFixed  = core.IntervalFixed
+	IntervalPrime  = core.IntervalPrime
+	IntervalRandom = core.IntervalRandom
+)
+
+// NewSampler constructs a sampling profiler.
+func NewSampler(cfg SamplerConfig) *Sampler { return core.NewSampler(cfg) }
+
+// NewSearch constructs an n-way search profiler.
+func NewSearch(cfg SearchConfig) *Search { return core.NewSearch(cfg) }
+
+// Workloads lists the built-in workload names (the paper's seven SPEC95
+// applications plus the Figure 2 synthetic scenario).
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload instantiates a built-in workload by name.
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// Config assembles a simulated system.
+type Config struct {
+	// Cache is the simulated cache geometry. Defaults to the paper's
+	// evaluation cache: 2 MB, 64-byte lines, 4-way, LRU.
+	Cache CacheConfig
+	// Costs is the virtual-cycle model. Defaults include the paper's
+	// 8,800-cycle interrupt delivery cost.
+	Costs CostModel
+	// Counters is the number of PMU region counters (plus the implicit
+	// global counter). The paper assumes ten. Sampling needs none.
+	Counters int
+	// Timeshare, if positive, emulates having only that many physical
+	// conditional counters, multiplexed across the programmed regions
+	// every TimeshareQuantum cycles (the paper's "timesharing the single
+	// conditional counter" alternative).
+	Timeshare        int
+	TimeshareQuantum uint64
+	// TrackTruth attaches exact ground-truth accounting (the "Actual"
+	// column). Enabled by default in NewSystem; set SkipTruth to disable.
+	SkipTruth bool
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cache:    cache.DefaultConfig(),
+		Costs:    machine.DefaultCosts(),
+		Counters: 10,
+	}
+}
+
+// System is one simulated machine with an object map and (optionally)
+// ground-truth accounting.
+type System struct {
+	Machine *machine.Machine
+	Objects *objmap.Map
+	// Truth is exact per-object accounting, nil if SkipTruth was set.
+	Truth *GroundTruth
+
+	workload Workload
+	profiler Profiler
+}
+
+// NewSystem builds an empty simulated system.
+func NewSystem(cfg Config) *System {
+	if cfg.Cache == (CacheConfig{}) {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = machine.DefaultCosts()
+	}
+	space := newSpace()
+	c := cache.New(cfg.Cache)
+	p := pmu.New(cfg.Counters)
+	if cfg.Timeshare > 0 {
+		q := cfg.TimeshareQuantum
+		if q == 0 {
+			q = 100_000
+		}
+		p.EnableTimesharing(cfg.Timeshare, q)
+	}
+	m := machine.New(space, c, p, cfg.Costs)
+	om := objmap.New(space)
+	om.BindSpace(space)
+	sys := &System{Machine: m, Objects: om}
+	if !cfg.SkipTruth {
+		sys.Truth = truth.Attach(m, om)
+	}
+	return sys
+}
+
+// LoadWorkload runs the workload's Setup and ingests its globals and heap
+// blocks into the object map.
+func (s *System) LoadWorkload(w Workload) {
+	s.workload = w
+	w.Setup(s.Machine)
+	s.Objects.SyncGlobals(s.Machine.Space)
+}
+
+// LoadWorkloadByName is LoadWorkload for the built-in registry.
+func (s *System) LoadWorkloadByName(name string) error {
+	w, err := workload.New(name)
+	if err != nil {
+		return err
+	}
+	s.LoadWorkload(w)
+	return nil
+}
+
+// Attach installs a profiler. Call after LoadWorkload so the profiler
+// sees the populated object map.
+func (s *System) Attach(p Profiler) error {
+	if s.workload == nil {
+		return fmt.Errorf("membottle: attach after LoadWorkload, so the profiler sees the object map")
+	}
+	if err := p.Install(s.Machine, s.Objects); err != nil {
+		return err
+	}
+	s.profiler = p
+	return nil
+}
+
+// Run simulates until the application has executed at least budget
+// instructions (instrumentation handler work does not count toward the
+// budget, matching the paper's equal-application-instructions comparison).
+func (s *System) Run(budget uint64) {
+	s.Machine.Run(s.workload, budget)
+}
+
+// Overhead summarizes the instrumentation cost of the run so far.
+type Overhead struct {
+	// Interrupts delivered to the profiler.
+	Interrupts uint64
+	// HandlerCycles spent delivering and executing handlers.
+	HandlerCycles uint64
+	// TotalCycles of the whole simulation.
+	TotalCycles uint64
+	// TotalMisses in the cache, application and instrumentation combined.
+	TotalMisses uint64
+	// AppInstructions executed.
+	AppInstructions uint64
+}
+
+// SlowdownPct returns handler cycles as a percentage of non-handler time,
+// the quantity of the paper's Figure 4.
+func (o Overhead) SlowdownPct() float64 {
+	app := o.TotalCycles - o.HandlerCycles
+	if app == 0 {
+		return 0
+	}
+	return 100 * float64(o.HandlerCycles) / float64(app)
+}
+
+// InterruptsPerBillionCycles is the paper's §3.3 interrupt-rate metric.
+func (o Overhead) InterruptsPerBillionCycles() float64 {
+	if o.TotalCycles == 0 {
+		return 0
+	}
+	return float64(o.Interrupts) * 1e9 / float64(o.TotalCycles)
+}
+
+// Overhead reports the run's instrumentation cost.
+func (s *System) Overhead() Overhead {
+	return Overhead{
+		Interrupts:      s.Machine.Interrupts,
+		HandlerCycles:   s.Machine.HandlerCycles,
+		TotalCycles:     s.Machine.Cycles,
+		TotalMisses:     s.Machine.Cache.Stats.Misses,
+		AppInstructions: s.Machine.AppInsts,
+	}
+}

@@ -1,0 +1,137 @@
+package membottle_test
+
+import (
+	"math"
+	"testing"
+
+	"membottle"
+)
+
+func TestWorkloadsRegistry(t *testing.T) {
+	names := membottle.Workloads()
+	if len(names) < 8 {
+		t.Fatalf("only %d workloads registered: %v", len(names), names)
+	}
+	w, err := membottle.NewWorkload("tomcatv")
+	if err != nil || w.Name() != "tomcatv" {
+		t.Fatalf("NewWorkload: %v %v", w, err)
+	}
+	if _, err := membottle.NewWorkload("bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestSystemEndToEndSearch(t *testing.T) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(60_000_000)
+
+	es := prof.Estimates()
+	if len(es) != 3 {
+		t.Fatalf("found %d objects, want 3: %v", len(es), es)
+	}
+	// mgrid: U/R ~40.6 each, V ~18.8.
+	var vPct float64
+	for _, e := range es {
+		if e.Object.Name == "V" {
+			vPct = e.Pct
+		}
+	}
+	if math.Abs(vPct-18.8) > 3 {
+		t.Errorf("V estimated at %.1f%%, want ~18.8%%", vPct)
+	}
+	// Ground truth is tracked by default and agrees.
+	if got := sys.Truth.Pct("V"); math.Abs(got-18.8) > 1 {
+		t.Errorf("ground truth V = %.1f%%", got)
+	}
+	ov := sys.Overhead()
+	if ov.Interrupts == 0 || ov.HandlerCycles == 0 {
+		t.Errorf("overhead not tracked: %+v", ov)
+	}
+	if ov.SlowdownPct() <= 0 || ov.SlowdownPct() > 5 {
+		t.Errorf("search slowdown %.3f%% implausible", ov.SlowdownPct())
+	}
+}
+
+func TestSystemEndToEndSampler(t *testing.T) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSampler(membottle.SamplerConfig{Interval: 2000, Mode: membottle.IntervalPrime})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(40_000_000)
+	es := prof.Estimates()
+	if len(es) != 3 || es[2].Object.Name != "V" {
+		t.Fatalf("sampler estimates: %v", es)
+	}
+}
+
+func TestAttachBeforeLoadRejected(t *testing.T) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.Attach(membottle.NewSampler(membottle.SamplerConfig{})); err == nil {
+		t.Fatal("attach before LoadWorkload accepted")
+	}
+}
+
+func TestSkipTruth(t *testing.T) {
+	cfg := membottle.DefaultConfig()
+	cfg.SkipTruth = true
+	sys := membottle.NewSystem(cfg)
+	if sys.Truth != nil {
+		t.Fatal("SkipTruth did not skip")
+	}
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	sys := membottle.NewSystem(membottle.Config{Counters: 2})
+	if err := sys.LoadWorkloadByName("figure2"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000_000)
+	if sys.Machine.Cycles == 0 {
+		t.Fatal("machine did not run")
+	}
+	if sys.Machine.Cache.Config().Size != 2<<20 {
+		t.Fatalf("default cache size = %d", sys.Machine.Cache.Config().Size)
+	}
+}
+
+func TestOverheadMetrics(t *testing.T) {
+	o := membottle.Overhead{HandlerCycles: 100, TotalCycles: 1100, Interrupts: 5}
+	if got := o.SlowdownPct(); got != 10 {
+		t.Fatalf("SlowdownPct = %v, want 10", got)
+	}
+	if got := o.InterruptsPerBillionCycles(); math.Abs(got-5e9/1100) > 1e-6 {
+		t.Fatalf("InterruptsPerBillionCycles = %v", got)
+	}
+	var zero membottle.Overhead
+	if zero.SlowdownPct() != 0 || zero.InterruptsPerBillionCycles() != 0 {
+		t.Fatal("zero overhead not zero")
+	}
+}
+
+func TestTimeshareSystem(t *testing.T) {
+	cfg := membottle.DefaultConfig()
+	cfg.Timeshare = 2
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(40_000_000)
+	if len(prof.Estimates()) == 0 {
+		t.Fatal("timeshared search found nothing")
+	}
+}

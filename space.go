@@ -1,0 +1,13 @@
+package membottle
+
+import "membottle/internal/mem"
+
+// Addr is a simulated virtual address.
+type Addr = mem.Addr
+
+// newSpace isolates the mem dependency for NewSystem.
+func newSpace() *mem.Space { return mem.NewSpace() }
+
+// NewSpaceForTesting exposes a raw address space for callers building
+// custom machines in tests or tools.
+func NewSpaceForTesting() *mem.Space { return mem.NewSpace() }
