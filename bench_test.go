@@ -7,10 +7,12 @@
 package membottle_test
 
 import (
+	"bytes"
 	"testing"
 
 	"membottle"
 	"membottle/internal/experiments"
+	"membottle/internal/trace"
 )
 
 // benchOpt shrinks run budgets for benchmarking.
@@ -185,9 +187,12 @@ func BenchmarkAblationTimeshare(b *testing.B) {
 
 // --- microbenchmarks: simulator throughput ---------------------------------
 
-func BenchmarkSimulationThroughput(b *testing.B) {
-	sys := membottle.NewSystem(membottle.DefaultConfig())
-	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+func benchThroughput(b *testing.B, app string, scalar bool) {
+	b.Helper()
+	cfg := membottle.DefaultConfig()
+	cfg.ScalarRefs = scalar
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName(app); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -196,7 +201,52 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	if sys.Machine.AppInsts < uint64(b.N) {
 		b.Fatal("budget not consumed")
 	}
+	refs := sys.Machine.Cache.Stats.Accesses()
+	b.ReportMetric(float64(refs)*1e9/float64(b.Elapsed().Nanoseconds()), "refs/s")
 }
+
+// The batched/scalar pairs below are the Go-benchmark view of what
+// cmd/mbbench measures: identical simulations through the batched hot
+// path and through the per-reference oracle loop.
+
+func BenchmarkSimulationThroughput(b *testing.B)       { benchThroughput(b, "mgrid", false) }
+func BenchmarkSimulationThroughputScalar(b *testing.B) { benchThroughput(b, "mgrid", true) }
+func BenchmarkSimulationTomcatv(b *testing.B)          { benchThroughput(b, "tomcatv", false) }
+func BenchmarkSimulationTomcatvScalar(b *testing.B)    { benchThroughput(b, "tomcatv", true) }
+
+func benchReplay(b *testing.B, scalar bool) {
+	b.Helper()
+	w, err := membottle.NewWorkload("tomcatv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recCfg := membottle.DefaultConfig()
+	recCfg.ScalarRefs = true
+	recCfg.SkipTruth = true
+	rec := membottle.NewSystem(recCfg)
+	rec.LoadWorkload(w)
+	var buf bytes.Buffer
+	if _, err := trace.Record(&buf, w, rec.Machine, 2_000_000); err != nil {
+		b.Fatal(err)
+	}
+	rp, err := trace.NewReplay("tomcatv", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := membottle.DefaultConfig()
+	cfg.ScalarRefs = scalar
+	cfg.SkipTruth = true
+	sys := membottle.NewSystem(cfg)
+	sys.LoadWorkload(rp)
+	b.ResetTimer()
+	sys.Run(uint64(b.N))
+	b.StopTimer()
+	refs := sys.Machine.Cache.Stats.Accesses()
+	b.ReportMetric(float64(refs)*1e9/float64(b.Elapsed().Nanoseconds()), "refs/s")
+}
+
+func BenchmarkTraceReplay(b *testing.B)       { benchReplay(b, false) }
+func BenchmarkTraceReplayScalar(b *testing.B) { benchReplay(b, true) }
 
 func BenchmarkSamplerOverheadPath(b *testing.B) {
 	sys := membottle.NewSystem(membottle.DefaultConfig())

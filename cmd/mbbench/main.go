@@ -1,0 +1,269 @@
+// Command mbbench measures the simulation engine's hot-path throughput on
+// the paper's workloads, in both the batched engine and the scalar
+// reference loop, and emits machine-readable BENCH_*.json result files.
+//
+// Three workload families are measured:
+//
+//   - table1: the uninstrumented ground-truth runs behind Table 1's
+//     "Actual" column, one per application.
+//   - figure3: the same applications instrumented with the miss-interrupt
+//     sampler, Figure 3's perturbation configuration, so batching is
+//     measured with interrupts landing mid-stream.
+//   - replay: recorded reference traces re-executed through a fresh cache,
+//     the pure reference-stream hot path.
+//
+// Every configuration runs twice — ScalarRefs on and off — and the two
+// runs must issue the identical number of references (the engines are
+// bit-identical by construction; this is a tripwire, not a tolerance).
+//
+//	mbbench -quick -out .
+//	mbbench -apps tomcatv,mgrid -budget 50000000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"membottle"
+	"membottle/internal/trace"
+)
+
+// Result is one (workload, app, engine) measurement.
+type Result struct {
+	Workload        string  `json:"workload"`
+	App             string  `json:"app"`
+	Mode            string  `json:"mode"` // "scalar" or "batched"
+	Refs            uint64  `json:"refs"`
+	WallNs          int64   `json:"wall_ns"`
+	NsPerRef        float64 `json:"ns_per_ref"`
+	RefsPerSec      float64 `json:"refs_per_sec"`
+	Allocs          uint64  `json:"allocs"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+}
+
+// File is the on-disk shape of one BENCH_*.json.
+type File struct {
+	Workload string   `json:"workload"`
+	Budget   uint64   `json:"budget"`
+	Results  []Result `json:"results"`
+	// AggregateSpeedup is total scalar wall time over total batched wall
+	// time across every app in this workload family — the family's
+	// refs/sec ratio, since both engines issue identical reference
+	// streams.
+	AggregateSpeedup float64 `json:"aggregate_speedup"`
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "small budgets and an app subset, for CI smoke runs")
+		outDir  = flag.String("out", ".", "directory for BENCH_*.json files")
+		budget  = flag.Uint64("budget", 0, "application instruction budget per run (0: 130M, or 20M with -quick)")
+		appsArg = flag.String("apps", "", "comma-separated workload subset (default: the paper's seven, or three with -quick)")
+		reps    = flag.Int("reps", 3, "repetitions per configuration; the fastest is reported")
+	)
+	flag.Parse()
+
+	apps := []string{"tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg"}
+	if *quick {
+		apps = []string{"tomcatv", "mgrid", "compress"}
+	}
+	if *appsArg != "" {
+		apps = strings.Split(*appsArg, ",")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	b := *budget
+	if b == 0 {
+		b = 130_000_000
+		if *quick {
+			b = 20_000_000
+		}
+	}
+
+	for _, w := range []struct {
+		name string
+		run  func(app string, scalar bool) (uint64, error)
+	}{
+		{"table1", func(app string, scalar bool) (uint64, error) { return runPlain(app, scalar, b) }},
+		{"figure3", func(app string, scalar bool) (uint64, error) { return runSampled(app, scalar, b) }},
+		{"replay", makeReplayRunner(apps, b)},
+	} {
+		file := File{Workload: w.name, Budget: b}
+		for _, app := range apps {
+			pair, err := measurePair(w.name, app, *reps, w.run)
+			if err != nil {
+				fatal(err)
+			}
+			file.Results = append(file.Results, pair...)
+		}
+		var scalarNs, batchedNs int64
+		for _, r := range file.Results {
+			if r.Mode == "scalar" {
+				scalarNs += r.WallNs
+			} else {
+				batchedNs += r.WallNs
+			}
+		}
+		file.AggregateSpeedup = float64(scalarNs) / float64(batchedNs)
+		fmt.Printf("%-8s aggregate: scalar %v, batched %v, speedup %.2fx\n",
+			w.name, time.Duration(scalarNs), time.Duration(batchedNs), file.AggregateSpeedup)
+		path := filepath.Join(*outDir, "BENCH_"+w.name+".json")
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// measurePair runs one configuration on both engines and cross-checks
+// them. The two engines alternate within each repetition, and each
+// engine's fastest repetition is reported: alternation exposes both modes
+// to the same load windows on a shared host, and the minimum discards
+// repetitions that lost the CPU entirely.
+func measurePair(workload, app string, reps int, run func(app string, scalar bool) (uint64, error)) ([]Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	modes := []string{"scalar", "batched"}
+	refsSeen := make([]uint64, len(modes))
+	wallNs := make([]int64, len(modes))
+	allocs := make([]uint64, len(modes))
+	for rep := 0; rep < reps; rep++ {
+		for mi, mode := range modes {
+			var repRefs uint64
+			var err error
+			repNs, repAllocs := measure(func() {
+				repRefs, err = run(app, mode == "scalar")
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s (%s): %w", workload, app, mode, err)
+			}
+			if rep > 0 && repRefs != refsSeen[mi] {
+				return nil, fmt.Errorf("%s/%s (%s): repetitions issued %d then %d refs — run is nondeterministic",
+					workload, app, mode, refsSeen[mi], repRefs)
+			}
+			if rep == 0 || repNs < wallNs[mi] {
+				wallNs[mi], allocs[mi] = repNs, repAllocs
+			}
+			refsSeen[mi] = repRefs
+		}
+	}
+	out := make([]Result, 0, len(modes))
+	for mi, mode := range modes {
+		out = append(out, Result{
+			Workload: workload, App: app, Mode: mode,
+			Refs: refsSeen[mi], WallNs: wallNs[mi], Allocs: allocs[mi],
+			NsPerRef:   float64(wallNs[mi]) / float64(refsSeen[mi]),
+			RefsPerSec: float64(refsSeen[mi]) / (float64(wallNs[mi]) / 1e9),
+		})
+	}
+	if out[0].Refs != out[1].Refs {
+		return nil, fmt.Errorf("%s/%s: scalar issued %d refs, batched %d — engines diverged",
+			workload, app, out[0].Refs, out[1].Refs)
+	}
+	speedup := float64(out[0].WallNs) / float64(out[1].WallNs)
+	out[1].SpeedupVsScalar = speedup
+	fmt.Printf("%-8s %-9s %12d refs  scalar %6.2f ns/ref  batched %6.2f ns/ref  speedup %.2fx\n",
+		workload, app, out[0].Refs, out[0].NsPerRef, out[1].NsPerRef, speedup)
+	return out, nil
+}
+
+// measure times fn and reports (wall ns, heap allocations).
+func measure(fn func()) (int64, uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs
+}
+
+func newSystem(scalar, skipTruth bool) *membottle.System {
+	cfg := membottle.DefaultConfig()
+	cfg.ScalarRefs = scalar
+	cfg.SkipTruth = skipTruth
+	return membottle.NewSystem(cfg)
+}
+
+// runPlain is Table 1's "Actual" configuration: uninstrumented, exact
+// ground truth attached.
+func runPlain(app string, scalar bool, budget uint64) (uint64, error) {
+	sys := newSystem(scalar, false)
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return 0, err
+	}
+	sys.Run(budget)
+	return sys.Machine.Cache.Stats.Accesses(), nil
+}
+
+// runSampled is Figure 3's perturbation configuration: the miss-interrupt
+// sampler fires throughout the run, so batches end at interrupt points.
+func runSampled(app string, scalar bool, budget uint64) (uint64, error) {
+	sys := newSystem(scalar, false)
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return 0, err
+	}
+	if err := sys.Attach(membottle.NewSampler(membottle.SamplerConfig{Interval: 2_000})); err != nil {
+		return 0, err
+	}
+	sys.Run(budget)
+	return sys.Machine.Cache.Stats.Accesses(), nil
+}
+
+// makeReplayRunner records one in-memory trace per app eagerly (recording
+// runs on the scalar path by construction — the recorder observes every
+// reference — and is setup cost, not measured time), then replays it
+// through fresh caches in either engine. Replays cycle the trace until the
+// instruction budget is spent.
+func makeReplayRunner(apps []string, budget uint64) func(app string, scalar bool) (uint64, error) {
+	// Bound the recorded prefix: Replay keeps the compiled trace in memory.
+	recBudget := budget
+	if recBudget > 8_000_000 {
+		recBudget = 8_000_000
+	}
+	traces := map[string]*trace.Replay{}
+	for _, app := range apps {
+		w, err := membottle.NewWorkload(app)
+		if err != nil {
+			fatal(err)
+		}
+		rec := newSystem(true, true)
+		rec.LoadWorkload(w)
+		var buf bytes.Buffer
+		if _, err := trace.Record(&buf, w, rec.Machine, recBudget); err != nil {
+			fatal(err)
+		}
+		rp, err := trace.NewReplay(app, &buf)
+		if err != nil {
+			fatal(err)
+		}
+		traces[app] = rp
+	}
+	return func(app string, scalar bool) (uint64, error) {
+		rp := traces[app]
+		rp.Reset()
+		sys := newSystem(scalar, true)
+		sys.LoadWorkload(rp)
+		sys.Run(budget)
+		return sys.Machine.Cache.Stats.Accesses(), nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbbench:", err)
+	os.Exit(1)
+}

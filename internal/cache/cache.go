@@ -66,6 +66,15 @@ func (s Stats) MissRatio() float64 {
 	return 0
 }
 
+// way is one cache line's metadata. Tag and LRU stamp live side by side so
+// that probing a whole 4-way set touches a single 64-byte host cache line;
+// a zero stamp marks the way invalid (live stamps start at 1, and Flush
+// zeroes stamps).
+type way struct {
+	tag   uint64 // line tag (address >> lineShift)
+	stamp uint64 // LRU timestamp; 0 = invalid
+}
+
 // Cache is a set-associative cache with LRU replacement. It is not
 // safe for concurrent use; the simulated machine is single-threaded, as in
 // the paper.
@@ -75,10 +84,8 @@ type Cache struct {
 	setMask   uint64
 	assoc     int
 
-	// Ways are stored flat: set s occupies tags[s*assoc : (s+1)*assoc].
-	tags  []uint64 // line tag (address >> lineShift); valid bit folded in
-	valid []bool
-	stamp []uint64 // LRU timestamps
+	// Ways are stored flat: set s occupies ways[s*assoc : (s+1)*assoc].
+	ways  []way
 	clock uint64
 
 	Stats Stats
@@ -97,9 +104,7 @@ func New(cfg Config) *Cache {
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		setMask:   uint64(sets - 1),
 		assoc:     cfg.Assoc,
-		tags:      make([]uint64, lines),
-		valid:     make([]bool, lines),
-		stamp:     make([]uint64, lines),
+		ways:      make([]way, lines),
 	}
 }
 
@@ -123,26 +128,22 @@ func (c *Cache) Access(a mem.Addr, write bool) (miss bool) {
 	base := set * c.assoc
 	c.clock++
 
+	// Victim selection: an invalid way (stamp 0) always beats a valid one,
+	// and the <= keeps the historical tie-break of the last invalid way.
 	victim := base
 	oldest := ^uint64(0)
 	for i := base; i < base+c.assoc; i++ {
-		if c.valid[i] && c.tags[i] == line {
-			c.stamp[i] = c.clock
+		if st := c.ways[i].stamp; st != 0 && c.ways[i].tag == line {
+			c.ways[i].stamp = c.clock
 			c.Stats.Hits++
 			return false
-		}
-		if !c.valid[i] {
+		} else if st <= oldest {
 			victim = i
-			oldest = 0 // invalid way wins immediately
-		} else if c.stamp[i] < oldest {
-			victim = i
-			oldest = c.stamp[i]
+			oldest = st
 		}
 	}
 	c.Stats.Misses++
-	c.tags[victim] = line
-	c.valid[victim] = true
-	c.stamp[victim] = c.clock
+	c.ways[victim] = way{tag: line, stamp: c.clock}
 	return true
 }
 
@@ -153,7 +154,7 @@ func (c *Cache) Probe(a mem.Addr) bool {
 	set := int(line & c.setMask)
 	base := set * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.valid[i] && c.tags[i] == line {
+		if c.ways[i].stamp != 0 && c.ways[i].tag == line {
 			return true
 		}
 	}
@@ -162,8 +163,8 @@ func (c *Cache) Probe(a mem.Addr) bool {
 
 // Flush invalidates all lines and leaves statistics intact.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.ways {
+		c.ways[i].stamp = 0
 	}
 }
 
@@ -173,8 +174,8 @@ func (c *Cache) ResetStats() { c.Stats = Stats{} }
 // Resident returns the number of valid lines (for tests and diagnostics).
 func (c *Cache) Resident() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, w := range c.ways {
+		if w.stamp != 0 {
 			n++
 		}
 	}

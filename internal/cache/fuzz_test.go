@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+// FuzzCacheConfig asserts the Validate/New contract: any geometry Validate
+// accepts must construct without panicking and behave sanely under a burst
+// of accesses, and any geometry Validate rejects must make New panic with
+// that same error. Sizes are capped so accepted configs cannot allocate
+// unboundedly in the fuzz loop.
+func FuzzCacheConfig(f *testing.F) {
+	f.Add(2<<20, 64, 4)     // the paper's cache
+	f.Add(64, 64, 1)        // single line, direct mapped
+	f.Add(1<<20, 32, 1<<15) // fully associative
+	f.Add(0, 0, 0)          // invalid: zeros
+	f.Add(-64, 64, 4)       // invalid: negative size
+	f.Add(96, 32, 1)        // invalid: size not a power of two
+	f.Add(64, 128, 1)       // invalid: line larger than cache
+	f.Add(1<<10, 64, 3)     // invalid: assoc does not divide lines
+	f.Add(1<<10, 64, 1<<20) // invalid: assoc exceeds lines
+
+	f.Fuzz(func(t *testing.T, size, lineSize, assoc int) {
+		const maxSize = 1 << 22 // bound allocations, not validity
+		if size > maxSize {
+			size = (size % maxSize) + 1
+		}
+		cfg := Config{Size: size, LineSize: lineSize, Assoc: assoc}
+		verr := cfg.Validate()
+
+		var c *Cache
+		panicked := func() (p bool) {
+			defer func() {
+				if recover() != nil {
+					p = true
+				}
+			}()
+			c = New(cfg)
+			return
+		}()
+
+		if verr != nil {
+			if !panicked {
+				t.Fatalf("Validate rejected %+v (%v) but New constructed it", cfg, verr)
+			}
+			return
+		}
+		if panicked {
+			t.Fatalf("Validate accepted %+v but New panicked", cfg)
+		}
+
+		// A validated geometry must survive accesses across the whole address
+		// range without panicking, with coherent stats and residency.
+		addrs := []mem.Addr{
+			0, 1,
+			mem.Addr(cfg.LineSize - 1), mem.Addr(cfg.LineSize),
+			mem.Addr(cfg.Size - 1), mem.Addr(cfg.Size), mem.Addr(2 * cfg.Size),
+			^mem.Addr(0), ^mem.Addr(0) - mem.Addr(cfg.LineSize),
+			mem.Addr(uint64(cfg.Size) * 3 / 2),
+		}
+		for i, a := range addrs {
+			c.Access(a, i%2 == 0)
+		}
+		refs := make([]mem.Ref, len(addrs))
+		for i, a := range addrs {
+			refs[i] = mem.Ref{Addr: a, Write: i%3 == 0}
+		}
+		for len(refs) > 0 {
+			// AccessBatch always consumes at least one reference (the
+			// first miss is processed, not returned), so this terminates.
+			n, _, _ := c.AccessBatch(refs)
+			if n < 1 {
+				t.Fatalf("AccessBatch consumed %d refs of %d", n, len(refs))
+			}
+			refs = refs[n:]
+		}
+
+		total := uint64(2 * len(addrs))
+		if got := c.Stats.Accesses(); got != total {
+			t.Fatalf("stats account for %d accesses, want %d (%+v)", got, total, c.Stats)
+		}
+		if c.Stats.Hits+c.Stats.Misses != total {
+			t.Fatalf("hits+misses = %d, want %d (%+v)", c.Stats.Hits+c.Stats.Misses, total, c.Stats)
+		}
+		lines := cfg.Size / cfg.LineSize
+		if r := c.Resident(); r < 0 || r > lines {
+			t.Fatalf("resident %d out of range [0,%d]", r, lines)
+		}
+	})
+}

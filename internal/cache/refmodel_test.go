@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+// refModel is a deliberately naive set-associative LRU cache: maps and
+// linear scans, no packed arrays, no clever indexing. It exists purely as
+// a trusted oracle for the optimized Cache — if the two ever disagree on a
+// single reference's verdict, the optimization is wrong.
+type refModel struct {
+	lineSize uint64
+	sets     []map[uint64]uint64 // per set: line tag -> last-use time
+	clock    uint64
+	stats    Stats
+	assoc    int
+}
+
+func newRefModel(cfg Config) *refModel {
+	lines := cfg.Size / cfg.LineSize
+	sets := lines / cfg.Assoc
+	m := &refModel{
+		lineSize: uint64(cfg.LineSize),
+		sets:     make([]map[uint64]uint64, sets),
+		assoc:    cfg.Assoc,
+	}
+	for i := range m.sets {
+		m.sets[i] = make(map[uint64]uint64)
+	}
+	return m
+}
+
+func (m *refModel) access(a mem.Addr, write bool) (miss bool) {
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	m.clock++
+	line := uint64(a) / m.lineSize
+	set := m.sets[line%uint64(len(m.sets))]
+	if _, ok := set[line]; ok {
+		set[line] = m.clock
+		m.stats.Hits++
+		return false
+	}
+	m.stats.Misses++
+	if len(set) == m.assoc {
+		var victim uint64
+		oldest := ^uint64(0)
+		for tag, used := range set {
+			if used < oldest {
+				oldest = used
+				victim = tag
+			}
+		}
+		delete(set, victim)
+	}
+	set[line] = m.clock
+	return true
+}
+
+func (m *refModel) resident() int {
+	n := 0
+	for _, s := range m.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// batchDriver drives a Cache exclusively through AccessBatch, re-issuing
+// the miss at each batch boundary through Access — the same protocol the
+// machine's batched engine uses — and reports per-reference verdicts.
+type batchDriver struct {
+	c       *Cache
+	pending []mem.Ref
+}
+
+func (d *batchDriver) access(a mem.Addr, write bool) {
+	d.pending = append(d.pending, mem.Ref{Addr: a, Write: write})
+}
+
+// drain processes all pending references, appending one verdict per
+// reference (true = miss) to verdicts.
+func (d *batchDriver) drain(verdicts []bool) []bool {
+	refs := d.pending
+	for len(refs) > 0 {
+		n, _, missed := d.c.AccessBatch(refs)
+		hits := n
+		if missed {
+			hits--
+		}
+		for i := 0; i < hits; i++ {
+			verdicts = append(verdicts, false)
+		}
+		if missed {
+			verdicts = append(verdicts, true)
+		}
+		refs = refs[n:]
+	}
+	d.pending = d.pending[:0]
+	return verdicts
+}
+
+// genAddr draws addresses from a skewed mixture — a hot cache-resident
+// region, a warm region about the cache size, and a cold expanse — so the
+// stream exercises hits, capacity evictions, and conflict misses.
+func genAddr(rng *rand.Rand) mem.Addr {
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3, 4, 5: // hot: fits easily
+		return mem.Addr(0x1000 + rng.Int63n(16<<10))
+	case 6, 7, 8: // warm: roughly the cache size
+		return mem.Addr(0x100000 + rng.Int63n(64<<10))
+	default: // cold
+		return mem.Addr(0x1000000 + rng.Int63n(32<<20))
+	}
+}
+
+// TestDifferentialScalarBatchedReference drives 1M+ seeded random accesses
+// through the scalar cache, the batched cache, and the naive reference
+// model, asserting identical per-reference hit/miss verdicts and identical
+// final statistics.
+func TestDifferentialScalarBatchedReference(t *testing.T) {
+	const accesses = 1_200_000
+	cfg := Config{Size: 64 << 10, LineSize: 64, Assoc: 4}
+
+	rng := rand.New(rand.NewSource(20260806))
+	scalar := New(cfg)
+	batched := New(cfg)
+	model := newRefModel(cfg)
+	driver := &batchDriver{c: batched}
+
+	scalarVerdicts := make([]bool, 0, accesses)
+	modelVerdicts := make([]bool, 0, accesses)
+	batchedVerdicts := make([]bool, 0, accesses)
+
+	for i := 0; i < accesses; i++ {
+		a := genAddr(rng)
+		write := rng.Intn(3) == 0
+		scalarVerdicts = append(scalarVerdicts, scalar.Access(a, write))
+		modelVerdicts = append(modelVerdicts, model.access(a, write))
+		driver.access(a, write)
+		// Flush the batch at random points so boundaries land everywhere.
+		if rng.Intn(512) == 0 {
+			batchedVerdicts = driver.drain(batchedVerdicts)
+		}
+	}
+	batchedVerdicts = driver.drain(batchedVerdicts)
+
+	if len(scalarVerdicts) != accesses || len(modelVerdicts) != accesses || len(batchedVerdicts) != accesses {
+		t.Fatalf("verdict counts: scalar=%d model=%d batched=%d, want %d",
+			len(scalarVerdicts), len(modelVerdicts), len(batchedVerdicts), accesses)
+	}
+	for i := 0; i < accesses; i++ {
+		if scalarVerdicts[i] != modelVerdicts[i] {
+			t.Fatalf("access %d: scalar cache says miss=%v, reference model says miss=%v",
+				i, scalarVerdicts[i], modelVerdicts[i])
+		}
+		if scalarVerdicts[i] != batchedVerdicts[i] {
+			t.Fatalf("access %d: scalar says miss=%v, batched says miss=%v",
+				i, scalarVerdicts[i], batchedVerdicts[i])
+		}
+	}
+
+	if scalar.Stats != model.stats {
+		t.Fatalf("stats diverge: scalar=%+v model=%+v", scalar.Stats, model.stats)
+	}
+	if scalar.Stats != batched.Stats {
+		t.Fatalf("stats diverge: scalar=%+v batched=%+v", scalar.Stats, batched.Stats)
+	}
+	if scalar.Resident() != model.resident() || scalar.Resident() != batched.Resident() {
+		t.Fatalf("resident lines diverge: scalar=%d model=%d batched=%d",
+			scalar.Resident(), model.resident(), batched.Resident())
+	}
+	// Residency must agree line-by-line, not just in count.
+	probe := rand.New(rand.NewSource(1))
+	for i := 0; i < 50_000; i++ {
+		a := genAddr(probe)
+		if scalar.Probe(a) != batched.Probe(a) {
+			t.Fatalf("probe %#x: scalar resident=%v batched resident=%v",
+				uint64(a), scalar.Probe(a), batched.Probe(a))
+		}
+	}
+	if scalar.Stats.Misses == 0 || scalar.Stats.Hits == 0 {
+		t.Fatal("degenerate stream: need both hits and misses for a meaningful differential")
+	}
+}
+
+// TestAccessBatchComputeSum checks the Compute payload accounting the
+// machine relies on.
+func TestAccessBatchComputeSum(t *testing.T) {
+	c := New(Config{Size: 4096, LineSize: 64, Assoc: 2})
+	// Warm two lines so the batch hits.
+	c.Access(0x0, false)
+	c.Access(0x1000, false)
+	refs := []mem.Ref{
+		{Addr: 0x8, Compute: 7},
+		{Addr: 0x1008, Write: true, Compute: 5},
+		{Addr: 0x10, Compute: 3},
+		{Addr: 0x2000, Compute: 100}, // miss: payload excluded from the sum
+	}
+	n, compute, missed := c.AccessBatch(refs)
+	if n != 4 || compute != 15 || !missed {
+		t.Fatalf("AccessBatch = (%d, %d, %v), want (4, 15, true)", n, compute, missed)
+	}
+}

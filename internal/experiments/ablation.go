@@ -26,7 +26,7 @@ type AccuracySummary struct {
 }
 
 func summarize(variant, app string, est []core.Estimate, iters int, done bool, opt Options) (AccuracySummary, error) {
-	actual, _, err := runPlain(app, opt.budgetFor(app))
+	actual, _, err := runPlain(opt, app, opt.budgetFor(app))
 	if err != nil {
 		return AccuracySummary{}, err
 	}
@@ -60,14 +60,14 @@ func AblationAlignment(app string, opt Options) (aligned, naive AccuracySummary,
 	opt = opt.withDefaults()
 	budget := opt.budgetFor(app)
 
-	a, _, err := runSearch(app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
+	a, _, err := runSearch(opt, app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
 	if err != nil {
 		return
 	}
 	if aligned, err = summarize("aligned splits", app, a.Estimates(), a.Iterations(), a.Done(), opt); err != nil {
 		return
 	}
-	n, _, err := runSearch(app, budget, core.SearchConfig{
+	n, _, err := runSearch(opt, app, budget, core.SearchConfig{
 		N: opt.SearchN, Interval: opt.SearchInterval, NoAlignSplits: true,
 	})
 	if err != nil {
@@ -91,14 +91,14 @@ func AblationPhase(opt Options) (with, without AccuracySummary, err error) {
 	const app = "su2cor"
 	budget := opt.budgetFor(app)
 
-	w, _, err := runSearch(app, budget, core.SearchConfig{N: 2, Interval: opt.SearchInterval})
+	w, _, err := runSearch(opt, app, budget, core.SearchConfig{N: 2, Interval: opt.SearchInterval})
 	if err != nil {
 		return
 	}
 	if with, err = summarize("phase handling", app, w.Estimates(), w.Iterations(), w.Done(), opt); err != nil {
 		return
 	}
-	wo, _, err := runSearch(app, budget, core.SearchConfig{
+	wo, _, err := runSearch(opt, app, budget, core.SearchConfig{
 		N: 2, Interval: opt.SearchInterval, NoPhaseHandling: true,
 	})
 	if err != nil {
@@ -115,7 +115,7 @@ func AblationTimeshare(app string, phys int, opt Options) (dedicated, shared Acc
 	opt = opt.withDefaults()
 	budget := opt.budgetFor(app)
 
-	d, _, err := runSearch(app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
+	d, _, err := runSearch(opt, app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
 	if err != nil {
 		return
 	}
@@ -125,6 +125,7 @@ func AblationTimeshare(app string, phys int, opt Options) (dedicated, shared Acc
 
 	cfg := membottle.DefaultConfig()
 	cfg.Timeshare = phys
+	cfg.ScalarRefs = opt.Scalar
 	sys := membottle.NewSystem(cfg)
 	if err = sys.LoadWorkloadByName(app); err != nil {
 		return
@@ -148,14 +149,14 @@ func AblationRetirement(opt Options) (plain, retire AccuracySummary, err error) 
 	const app = "su2cor"
 	budget := opt.budgetFor(app)
 
-	p, _, err := runSearch(app, budget, core.SearchConfig{N: 4, Interval: opt.SearchInterval})
+	p, _, err := runSearch(opt, app, budget, core.SearchConfig{N: 4, Interval: opt.SearchInterval})
 	if err != nil {
 		return
 	}
 	if plain, err = summarize("n-1 limit", app, p.Estimates(), p.Iterations(), p.Done(), opt); err != nil {
 		return
 	}
-	r, _, err := runSearch(app, budget, core.SearchConfig{
+	r, _, err := runSearch(opt, app, budget, core.SearchConfig{
 		N: 4, Interval: opt.SearchInterval, RetireFound: true,
 	})
 	if err != nil {

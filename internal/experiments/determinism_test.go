@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderTable1Text renders a Table 1 result to its final text form; the
+// determinism tests compare these byte for byte.
+func renderTable1Text(t *testing.T, results []AppResult) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := RenderTable1(results).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTable1DeterministicAcrossParallelism runs Table 1 serially and with
+// eight workers and requires the rendered output — the actual bytes a user
+// sees — to be identical. Run under -race in CI, this doubles as the
+// scheduler-interleaving check for the parallel experiment driver.
+func TestTable1DeterministicAcrossParallelism(t *testing.T) {
+	apps := []string{"mgrid", "figure2", "compress"}
+	const budget = 4_000_000
+
+	serial, err := Table1(Options{Apps: apps, Budget: budget, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1(Options{Apps: apps, Budget: budget, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, pt := renderTable1Text(t, serial), renderTable1Text(t, parallel)
+	if st != pt {
+		t.Fatalf("rendered Table 1 differs between serial and 8-way parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", st, pt)
+	}
+}
+
+// TestTable1ScalarMatchesBatched is the engine's headline invariant at the
+// experiment level: the batched hot path and the scalar reference loop must
+// produce byte-identical published tables, not merely similar statistics.
+func TestTable1ScalarMatchesBatched(t *testing.T) {
+	apps := []string{"mgrid", "figure2", "compress"}
+	const budget = 4_000_000
+
+	batched, err := Table1(Options{Apps: apps, Budget: budget, Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := Table1(Options{Apps: apps, Budget: budget, Serial: true, Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bt, st := renderTable1Text(t, batched), renderTable1Text(t, scalar)
+	if bt != st {
+		t.Fatalf("rendered Table 1 differs between batched and scalar engines:\n--- batched ---\n%s\n--- scalar ---\n%s", bt, st)
+	}
+	// Diagnostics outside the rendered table must agree too.
+	for i := range batched {
+		if batched[i].SampleCount != scalar[i].SampleCount ||
+			batched[i].SearchIterations != scalar[i].SearchIterations ||
+			batched[i].SearchDone != scalar[i].SearchDone {
+			t.Fatalf("%s diagnostics diverge:\nbatched: %+v\nscalar:  %+v",
+				batched[i].App, batched[i], scalar[i])
+		}
+	}
+}

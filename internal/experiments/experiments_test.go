@@ -6,6 +6,18 @@ import (
 	"testing"
 )
 
+// skipUnderRace skips a long single-threaded calibration sweep when the
+// binary is race-instrumented. These tests run no goroutines of their
+// own (the concurrent paths stay covered by the parallelism and
+// renderer tests), and their ~10x race slowdown would push the package
+// past go test's default 10-minute timeout.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("single-threaded calibration sweep; skipped under -race")
+	}
+}
+
 func row(t *testing.T, rows []Table1Row, name string) Table1Row {
 	t.Helper()
 	for _, r := range rows {
@@ -50,6 +62,7 @@ func TestTable1UnknownApp(t *testing.T) {
 }
 
 func TestTable1Tomcatv(t *testing.T) {
+	skipUnderRace(t)
 	r, err := Table1App("tomcatv", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +121,7 @@ func TestTable1Ijpeg(t *testing.T) {
 }
 
 func TestTable2MgridBothWork(t *testing.T) {
+	skipUnderRace(t)
 	r, err := Table2App("mgrid", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +149,7 @@ func TestTable2MgridBothWork(t *testing.T) {
 }
 
 func TestTable2Su2corPhaseArtifact(t *testing.T) {
+	skipUnderRace(t)
 	// The paper's §3.4: su2cor's changing access patterns corrupt the
 	// two-way search (it mis-ranked/mis-estimated the array that later
 	// caused the most misses; the found array was even estimated at
@@ -167,6 +182,7 @@ func TestTable2Su2corPhaseArtifact(t *testing.T) {
 }
 
 func TestPerturbationShape(t *testing.T) {
+	skipUnderRace(t)
 	rows, err := PerturbationApp("mgrid", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +268,7 @@ func TestFigure5Phases(t *testing.T) {
 }
 
 func TestFigure2Ablation(t *testing.T) {
+	skipUnderRace(t)
 	r, err := Figure2(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -295,6 +312,7 @@ func TestResonanceStudy(t *testing.T) {
 }
 
 func TestAblationPhaseHandling(t *testing.T) {
+	skipUnderRace(t)
 	with, without, err := AblationPhase(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +332,7 @@ func TestAblationPhaseHandling(t *testing.T) {
 }
 
 func TestAblationTimeshare(t *testing.T) {
+	skipUnderRace(t)
 	ded, shr, err := AblationTimeshare("mgrid", 2, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -356,6 +375,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 }
 
 func TestAblationRetirement(t *testing.T) {
+	skipUnderRace(t)
 	plain, retire, err := AblationRetirement(Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -370,6 +390,7 @@ func TestAblationRetirement(t *testing.T) {
 }
 
 func TestSearchIntervalSensitivity(t *testing.T) {
+	skipUnderRace(t)
 	rows, err := SearchIntervalSensitivity("mgrid", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -393,6 +414,7 @@ func TestSearchIntervalSensitivity(t *testing.T) {
 }
 
 func TestSampleIntervalSensitivity(t *testing.T) {
+	skipUnderRace(t)
 	rows, err := SampleIntervalSensitivity("mgrid", Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"membottle"
 	"membottle/internal/core"
 	"membottle/internal/mem"
 	"membottle/internal/report"
@@ -28,7 +27,7 @@ type Figure1Result struct {
 func Figure1(opt Options) (Figure1Result, error) {
 	opt = opt.withDefaults()
 	const app = "figure2"
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return Figure1Result{}, err
 	}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"membottle"
 	"membottle/internal/core"
 	"membottle/internal/report"
 	"membottle/internal/truth"
@@ -23,7 +22,7 @@ type Figure5Result struct {
 // periodically drop to zero while rsd spikes.
 func Figure5(opt Options) (Figure5Result, error) {
 	opt = opt.withDefaults()
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName("applu"); err != nil {
 		return Figure5Result{}, err
 	}
@@ -90,17 +89,17 @@ func Figure2(opt Options) (Figure2Result, error) {
 	opt = opt.withDefaults()
 	budget := opt.budgetFor("figure2")
 
-	actual, _, err := runPlain("figure2", budget)
+	actual, _, err := runPlain(opt, "figure2", budget)
 	if err != nil {
 		return Figure2Result{}, err
 	}
-	greedy, _, err := runSearch("figure2", budget, core.SearchConfig{
+	greedy, _, err := runSearch(opt, "figure2", budget, core.SearchConfig{
 		N: 2, Interval: opt.SearchInterval, Greedy: true,
 	})
 	if err != nil {
 		return Figure2Result{}, err
 	}
-	pq, _, err := runSearch("figure2", budget, core.SearchConfig{
+	pq, _, err := runSearch(opt, "figure2", budget, core.SearchConfig{
 		N: 2, Interval: opt.SearchInterval,
 	})
 	if err != nil {
@@ -168,19 +167,19 @@ func Resonance(opt Options) (ResonanceResult, error) {
 	budget := opt.budgetFor(app)
 	fixed := opt.sampleIntervalFor(app)
 
-	actual, _, err := runPlain(app, budget)
+	actual, _, err := runPlain(opt, app, budget)
 	if err != nil {
 		return ResonanceResult{}, err
 	}
-	fs, _, err := runSampler(app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalFixed})
+	fs, _, err := runSampler(opt, app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalFixed})
 	if err != nil {
 		return ResonanceResult{}, err
 	}
-	ps, _, err := runSampler(app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalPrime})
+	ps, _, err := runSampler(opt, app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalPrime})
 	if err != nil {
 		return ResonanceResult{}, err
 	}
-	rs, _, err := runSampler(app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalRandom, Seed: opt.Seed})
+	rs, _, err := runSampler(opt, app, budget, core.SamplerConfig{Interval: fixed, Mode: core.IntervalRandom, Seed: opt.Seed})
 	if err != nil {
 		return ResonanceResult{}, err
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// See race_test.go.
+const raceDetectorEnabled = false

@@ -47,6 +47,11 @@ type Options struct {
 	Parallel int
 	// Serial forces one run at a time (equivalent to Parallel=1).
 	Serial bool
+	// Scalar runs every simulation on the per-reference scalar engine
+	// instead of the batched fast path. Output is byte-identical either
+	// way (the determinism tests enforce it); scalar mode is the oracle
+	// baseline and what cmd/mbbench measures speedups against.
+	Scalar bool
 }
 
 var defaultBudgets = map[string]uint64{

@@ -62,7 +62,7 @@ func PerturbationApp(app string, opt Options) ([]PerturbRow, error) {
 	}
 	budget := opt.budgetFor(app)
 
-	_, plain, err := runPlain(app, budget)
+	_, plain, err := runPlain(opt, app, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func PerturbationApp(app string, opt Options) ([]PerturbRow, error) {
 
 	var out []PerturbRow
 
-	search, searchSys, err := runSearch(app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
+	search, searchSys, err := runSearch(opt, app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func PerturbationApp(app string, opt Options) ([]PerturbRow, error) {
 	out = append(out, mkRow("search", searchSys.Overhead()))
 
 	for _, freq := range sampleFrequencies {
-		_, sys, err := runSampler(app, budget, core.SamplerConfig{Interval: freq, Seed: opt.Seed})
+		_, sys, err := runSampler(opt, app, budget, core.SamplerConfig{Interval: freq, Seed: opt.Seed})
 		if err != nil {
 			return nil, err
 		}

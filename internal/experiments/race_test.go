@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Long single-threaded calibration sweeps are skipped under the
+// race detector (see skipUnderRace): its ~10x slowdown pushes the
+// package past go test's default timeout without adding coverage,
+// since every concurrent code path is exercised by the parallelism and
+// renderer tests that still run.
+const raceDetectorEnabled = true

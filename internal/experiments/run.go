@@ -8,10 +8,18 @@ import (
 	"membottle/internal/truth"
 )
 
+// newSystem builds a simulated system honouring the run options (today:
+// the scalar-vs-batched engine selection).
+func newSystem(opt Options) *membottle.System {
+	cfg := membottle.DefaultConfig()
+	cfg.ScalarRefs = opt.Scalar
+	return membottle.NewSystem(cfg)
+}
+
 // runPlain executes a workload uninstrumented and returns ground truth
 // plus the run's overhead-free statistics.
-func runPlain(app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+func runPlain(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
+	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return nil, membottle.Overhead{}, err
 	}
@@ -20,8 +28,8 @@ func runPlain(app string, budget uint64) (*truth.Counter, membottle.Overhead, er
 }
 
 // runSampler executes a workload under the sampling profiler.
-func runSampler(app string, budget uint64, cfg core.SamplerConfig) (*core.Sampler, *membottle.System, error) {
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+func runSampler(opt Options, app string, budget uint64, cfg core.SamplerConfig) (*core.Sampler, *membottle.System, error) {
+	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return nil, nil, err
 	}
@@ -34,8 +42,8 @@ func runSampler(app string, budget uint64, cfg core.SamplerConfig) (*core.Sample
 }
 
 // runSearch executes a workload under the n-way search profiler.
-func runSearch(app string, budget uint64, cfg core.SearchConfig) (*core.Search, *membottle.System, error) {
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+func runSearch(opt Options, app string, budget uint64, cfg core.SearchConfig) (*core.Search, *membottle.System, error) {
+	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return nil, nil, err
 	}

@@ -35,13 +35,13 @@ func SearchIntervalSensitivity(app string, opt Options) ([]SensitivityRow, error
 		return nil, err
 	}
 	budget := opt.budgetFor(app)
-	actual, plain, err := runPlain(app, budget)
+	actual, plain, err := runPlain(opt, app, budget)
 	if err != nil {
 		return nil, err
 	}
 
 	eval := func(setting string, cfg core.SearchConfig) (SensitivityRow, error) {
-		s, sys, err := runSearch(app, budget, cfg)
+		s, sys, err := runSearch(opt, app, budget, cfg)
 		if err != nil {
 			return SensitivityRow{}, err
 		}
@@ -94,13 +94,13 @@ func SampleIntervalSensitivity(app string, opt Options) ([]SensitivityRow, error
 		return nil, err
 	}
 	budget := opt.budgetFor(app)
-	actual, plain, err := runPlain(app, budget)
+	actual, plain, err := runPlain(opt, app, budget)
 	if err != nil {
 		return nil, err
 	}
 
 	eval := func(setting string, cfg core.SamplerConfig) (SensitivityRow, error) {
-		s, sys, err := runSampler(app, budget, cfg)
+		s, sys, err := runSampler(opt, app, budget, cfg)
 		if err != nil {
 			return SensitivityRow{}, err
 		}

@@ -47,13 +47,13 @@ func Table1App(app string, opt Options) (AppResult, error) {
 	}
 	budget := opt.budgetFor(app)
 
-	actual, plainOv, err := runPlain(app, budget)
+	actual, plainOv, err := runPlain(opt, app, budget)
 	if err != nil {
 		return AppResult{}, err
 	}
 
 	interval := opt.sampleIntervalFor(app)
-	sampler, sampleSys, err := runSampler(app, budget, core.SamplerConfig{
+	sampler, sampleSys, err := runSampler(opt, app, budget, core.SamplerConfig{
 		Interval: interval,
 		Mode:     opt.SampleMode,
 		Seed:     opt.Seed,
@@ -62,7 +62,7 @@ func Table1App(app string, opt Options) (AppResult, error) {
 		return AppResult{}, err
 	}
 
-	search, searchSys, err := runSearch(app, budget, core.SearchConfig{
+	search, searchSys, err := runSearch(opt, app, budget, core.SearchConfig{
 		N:        opt.SearchN,
 		Interval: opt.SearchInterval,
 	})

@@ -40,15 +40,15 @@ func Table2App(app string, opt Options) (Table2AppResult, error) {
 	}
 	budget := opt.budgetFor(app)
 
-	actual, _, err := runPlain(app, budget)
+	actual, _, err := runPlain(opt, app, budget)
 	if err != nil {
 		return Table2AppResult{}, err
 	}
-	two, _, err := runSearch(app, budget, core.SearchConfig{N: 2, Interval: opt.SearchInterval})
+	two, _, err := runSearch(opt, app, budget, core.SearchConfig{N: 2, Interval: opt.SearchInterval})
 	if err != nil {
 		return Table2AppResult{}, err
 	}
-	ten, _, err := runSearch(app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
+	ten, _, err := runSearch(opt, app, budget, core.SearchConfig{N: opt.SearchN, Interval: opt.SearchInterval})
 	if err != nil {
 		return Table2AppResult{}, err
 	}

@@ -88,10 +88,20 @@ type Machine struct {
 	OnMiss func(a mem.Addr, write bool, inHandler bool)
 	// OnRef, if set, observes every application memory reference (not
 	// instrumentation-handler references) at zero simulated cost. Used by
-	// the trace recorder.
+	// the trace recorder. Setting it disables the batched fast path (the
+	// recorder needs per-reference instruction counts), so recording runs
+	// at scalar speed.
 	OnRef func(a mem.Addr, write bool)
 
+	// Scalar disables the batched reference fast path, forcing every
+	// AccessBatch / LoadRange / StoreRange call through the per-reference
+	// scalar loop. Batched and scalar execution are bit-identical (the
+	// differential oracle tests enforce it); scalar mode exists as the
+	// trusted baseline for those tests and for benchmarking the speedup.
+	Scalar bool
+
 	inHandler bool
+	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
 }
 
 // New assembles a machine from its parts.
@@ -220,24 +230,169 @@ func (m *Machine) Run(w Workload, appInstBudget uint64) {
 	}
 }
 
-// LoadRange streams reads over [base, base+bytes) with the given stride,
-// a helper for array-sweep workload kernels. computePer is the number of
-// compute instructions charged per element.
-func (m *Machine) LoadRange(base mem.Addr, bytes, stride, computePer uint64) {
-	for off := uint64(0); off < bytes; off += stride {
-		m.access(base+mem.Addr(off), false)
-		if computePer > 0 {
-			m.Compute(computePer)
+// --- batched hot path ----------------------------------------------------
+
+// Ref is one reference in a batch; see mem.Ref.
+type Ref = mem.Ref
+
+// batchChunk bounds the reusable batch buffer used by the range helpers.
+const batchChunk = 1024
+
+// AccessBatch issues a batch of consecutive references, each optionally
+// followed by its Compute payload of compute instructions. It simulates
+// exactly the scalar sequence
+//
+//	for _, r := range refs { Load/Store(r.Addr); Compute(r.Compute) }
+//
+// but runs hit stretches (and the fill of the first missing line) through
+// the cache's branch-light AccessBatch, falling back to the scalar slow
+// path only for per-miss bookkeeping and at PMU cycle events (timer
+// deadlines, timeshare rotations), so interrupt delivery points, cycle
+// counts, and cache state stay bit-identical to scalar execution.
+func (m *Machine) AccessBatch(refs []Ref) {
+	if m.Scalar || m.OnRef != nil {
+		m.scalarRefs(refs)
+		return
+	}
+	for len(refs) > 0 {
+		n := len(refs)
+		tickAfter := false
+		if ev, armed := m.PMU.NextCycleEvent(); armed {
+			n, tickAfter = capRefs(refs, m.Cycles, ev, m.Cost)
+			if n == 0 {
+				// The event fires during the next reference: take the
+				// scalar path so the tick lands mid-element, as it would
+				// in an unbatched run.
+				m.scalarRefs(refs[:1])
+				refs = refs[1:]
+				continue
+			}
+		}
+		done, compute, missed := m.Cache.AccessBatch(refs[:n])
+		if done > 0 {
+			insts := uint64(done) + compute
+			m.Insts += insts
+			if !m.inHandler {
+				m.AppInsts += insts
+			}
+			m.Cycles += uint64(done)*m.Cost.HitCycles + compute*m.Cost.ComputeCPI
+		}
+		if missed {
+			// refs[done-1] missed; the cache already filled the line, so
+			// only the machine-side slow path remains: miss latency, miss
+			// attribution, PMU bookkeeping, interrupt delivery, and the
+			// reference's trailing compute (charged after any interrupt,
+			// as in scalar execution).
+			r := &refs[done-1]
+			m.Cycles += m.Cost.MissCycles
+			if m.OnMiss != nil {
+				m.OnMiss(r.Addr, r.Write, m.inHandler)
+			}
+			m.PMU.RecordMiss(r.Addr)
+			m.PMU.TickCycles(m.Cycles)
+			if !m.inHandler && m.PMU.HasPending() {
+				m.deliver()
+			}
+			if r.Compute > 0 {
+				m.Compute(r.Compute)
+			}
+			refs = refs[done:]
+			continue
+		}
+		refs = refs[n:]
+		if tickAfter {
+			// The batch was cut at a reference whose trailing compute
+			// crosses the PMU event; tick with exactly the cycle count a
+			// scalar Compute call would have reported.
+			m.PMU.TickCycles(m.Cycles)
+			if !m.inHandler && m.PMU.HasPending() {
+				m.deliver()
+			}
 		}
 	}
 }
 
-// StoreRange streams writes over [base, base+bytes) with the given stride.
-func (m *Machine) StoreRange(base mem.Addr, bytes, stride, computePer uint64) {
-	for off := uint64(0); off < bytes; off += stride {
-		m.access(base+mem.Addr(off), true)
-		if computePer > 0 {
-			m.Compute(computePer)
+// scalarRefs issues refs one at a time through the scalar path.
+func (m *Machine) scalarRefs(refs []Ref) {
+	for i := range refs {
+		m.access(refs[i].Addr, refs[i].Write)
+		if refs[i].Compute > 0 {
+			m.Compute(refs[i].Compute)
 		}
 	}
+}
+
+// capRefs bounds a batch so that no PMU cycle event falls inside the hit
+// fast path, assuming every reference hits (misses end the batch earlier
+// anyway). Scalar execution ticks the PMU after each reference and after
+// each Compute call; all skipped ticks must be strictly before ev to be
+// no-ops. If the event lands on a reference's access tick the reference
+// is excluded (the caller runs it scalar); if it lands on the trailing
+// compute tick the reference stays in the batch and the caller ticks at
+// the batch boundary, which is the identical observation point.
+func capRefs(refs []Ref, cycles, ev uint64, cost CostModel) (int, bool) {
+	if ev <= cycles {
+		return 0, false
+	}
+	for i := range refs {
+		cycles += cost.HitCycles
+		if cycles >= ev {
+			return i, false
+		}
+		if c := refs[i].Compute; c > 0 {
+			cycles += c * cost.ComputeCPI
+			if cycles >= ev {
+				return i + 1, true
+			}
+		}
+	}
+	return len(refs), false
+}
+
+// takeBatch claims the machine's reusable batch buffer. Interrupt handlers
+// delivered mid-batch may themselves call the range helpers, so the buffer
+// is surrendered while in use and nested calls allocate their own.
+func (m *Machine) takeBatch() []Ref {
+	b := m.batch
+	m.batch = nil
+	if b == nil {
+		b = make([]Ref, 0, batchChunk)
+	}
+	return b[:0]
+}
+
+// LoadRange streams reads over [base, base+bytes) with the given stride,
+// a helper for array-sweep workload kernels. computePer is the number of
+// compute instructions charged per element.
+func (m *Machine) LoadRange(base mem.Addr, bytes, stride, computePer uint64) {
+	m.rangeRefs(base, bytes, stride, computePer, false)
+}
+
+// StoreRange streams writes over [base, base+bytes) with the given stride.
+func (m *Machine) StoreRange(base mem.Addr, bytes, stride, computePer uint64) {
+	m.rangeRefs(base, bytes, stride, computePer, true)
+}
+
+func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, write bool) {
+	if m.Scalar || m.OnRef != nil {
+		for off := uint64(0); off < bytes; off += stride {
+			m.access(base+mem.Addr(off), write)
+			if computePer > 0 {
+				m.Compute(computePer)
+			}
+		}
+		return
+	}
+	buf := m.takeBatch()
+	for off := uint64(0); off < bytes; off += stride {
+		buf = append(buf, Ref{Addr: base + mem.Addr(off), Write: write, Compute: computePer})
+		if len(buf) == cap(buf) {
+			m.AccessBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		m.AccessBatch(buf)
+	}
+	m.batch = buf[:0]
 }

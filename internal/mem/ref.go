@@ -1,0 +1,17 @@
+package mem
+
+// Ref is one memory reference in a batch: the unit the batched simulation
+// engine passes from workloads and the trace replayer down to the cache.
+// Batches of consecutive Refs let the hot path process hit runs without
+// the per-reference call and interrupt-check overhead of the scalar loop.
+type Ref struct {
+	// Addr is the effective address referenced.
+	Addr Addr
+	// Write distinguishes stores from loads.
+	Write bool
+	// Compute is the number of compute instructions the application
+	// executes immediately after this reference (before the next one).
+	// The cache ignores it; the machine charges it to the virtual clock
+	// exactly as a scalar Compute call following the reference would.
+	Compute uint64
+}

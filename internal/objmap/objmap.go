@@ -80,6 +80,14 @@ type Map struct {
 	// lookups (binary-search probes + tree-node visits). The shadow cost
 	// model converts these into simulated memory accesses.
 	LookupDepth uint64
+
+	// lastHit/prevHit cache the two most recent successful lookups. Cache
+	// misses cluster spatially, but the cluster often spans two objects at
+	// once (tomcatv's interleaved RX/RY pair sweeps alternate every
+	// reference), so two entries are kept. Invalidated on any index
+	// mutation.
+	lastHit *Object
+	prevHit *Object
 }
 
 // New builds a Map seeded with the globals of the given address space.
@@ -149,6 +157,7 @@ func (m *Map) addObject(name string, base mem.Addr, size uint64, kind Kind) *Obj
 		Live: true,
 	}
 	m.byID = append(m.byID, o)
+	m.lastHit, m.prevHit = nil, nil
 	switch kind {
 	case KindGlobal:
 		m.globals = append(m.globals, o) // symbol tables arrive sorted
@@ -175,6 +184,7 @@ func (m *Map) OnFree(base mem.Addr) {
 		v.(*Object).Live = false
 	}
 	m.heap.Delete(base)
+	m.lastHit, m.prevHit = nil, nil
 }
 
 // RegisterStackVar registers a named stack variable extent (the paper's
@@ -188,6 +198,15 @@ func (m *Map) RegisterStackVar(name string, base mem.Addr, size uint64) *Object 
 // if the address belongs to no known object (e.g. allocator metadata or
 // instrumentation memory).
 func (m *Map) Lookup(a mem.Addr) *Object {
+	if o := m.lastHit; o != nil && o.Contains(a) {
+		m.LookupDepth++
+		return o
+	}
+	if o := m.prevHit; o != nil && o.Contains(a) {
+		m.LookupDepth++
+		m.lastHit, m.prevHit = o, m.lastHit
+		return o
+	}
 	// Globals: binary search in the sorted symbol-derived table.
 	if n := len(m.globals); n > 0 && a >= m.globals[0].Base && a < m.globals[n-1].End() {
 		lo, hi := 0, n
@@ -201,6 +220,7 @@ func (m *Map) Lookup(a mem.Addr) *Object {
 			}
 		}
 		if lo < n && m.globals[lo].Contains(a) {
+			m.lastHit, m.prevHit = m.globals[lo], m.lastHit
 			return m.globals[lo]
 		}
 		return nil
@@ -208,7 +228,8 @@ func (m *Map) Lookup(a mem.Addr) *Object {
 	// Heap blocks: red-black tree stabbing query.
 	if _, _, v, depth, ok := m.heap.FindWithCost(a); ok {
 		m.LookupDepth += uint64(depth)
-		return v.(*Object)
+		m.lastHit, m.prevHit = v.(*Object), m.lastHit
+		return m.lastHit
 	} else {
 		m.LookupDepth += uint64(depth)
 	}
@@ -217,6 +238,7 @@ func (m *Map) Lookup(a mem.Addr) *Object {
 		i := sort.Search(n, func(i int) bool { return m.stack[i].End() > a })
 		m.LookupDepth++
 		if i < n && m.stack[i].Contains(a) {
+			m.lastHit, m.prevHit = m.stack[i], m.lastHit
 			return m.stack[i]
 		}
 	}

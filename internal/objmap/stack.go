@@ -55,6 +55,7 @@ func (m *Map) onFramePop(base mem.Addr, size uint64) {
 		keep = append(keep, o)
 	}
 	m.stack = keep
+	m.lastHit, m.prevHit = nil, nil
 }
 
 // onArena registers a grouped heap object covering a whole arena.

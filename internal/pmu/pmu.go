@@ -184,6 +184,23 @@ func (p *PMU) TickCycles(cycles uint64) {
 	}
 }
 
+// NextCycleEvent returns the earliest future cycle count at which
+// TickCycles has a side effect — the armed timer deadline or the next
+// timeshare rotation — and whether any such event is armed. The batched
+// machine engine uses it to bound hit fast-path runs so that skipping
+// per-reference TickCycles calls (which are no-ops strictly before the
+// returned cycle count) cannot change simulated behaviour.
+func (p *PMU) NextCycleEvent() (uint64, bool) {
+	ev, ok := uint64(0), false
+	if p.timerArmed {
+		ev, ok = p.timerDeadline, true
+	}
+	if p.mux != nil && (!ok || p.mux.rotateAt < ev) {
+		ev, ok = p.mux.rotateAt, true
+	}
+	return ev, ok
+}
+
 // Pending returns the highest-priority pending interrupt and clears it.
 // Timer interrupts take priority over miss overflows, since the search's
 // bookkeeping must not be starved by a busy sampling configuration.

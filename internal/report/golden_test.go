@@ -1,0 +1,165 @@
+package report_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"membottle/internal/core"
+	"membottle/internal/experiments"
+	"membottle/internal/mem"
+	"membottle/internal/objmap"
+	"membottle/internal/report"
+	"membottle/internal/truth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden renders t-able output and compares it byte-for-byte against
+// testdata/<name>.golden, rewriting the file under -update.
+func checkGolden(t *testing.T, name string, tab *report.Table) {
+	t.Helper()
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/report -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("rendered %s differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, string(want))
+	}
+}
+
+func obj(id int, name string) *objmap.Object {
+	return &objmap.Object{ID: id, Name: name, Base: mem.Addr(0x10000 * (id + 1)), Size: 1 << 20, Live: true}
+}
+
+// table1Fixture is a small hand-built Table 1 result exercising the render
+// paths: multi-app blocks, absent ranks, and the paper's percent styles.
+func table1Fixture() []experiments.AppResult {
+	return []experiments.AppResult{
+		{
+			App: "tomcatv",
+			Rows: []experiments.Table1Row{
+				{Object: "RX", ActualRank: 1, ActualPct: 22.5, SampleRank: 1, SamplePct: 23.1, SearchRank: 1, SearchPct: 22.0},
+				{Object: "RY", ActualRank: 2, ActualPct: 22.5, SampleRank: 2, SamplePct: 21.9, SearchRank: 2, SearchPct: 22.9},
+				{Object: "X", ActualRank: 3, ActualPct: 11.2, SampleRank: 3, SamplePct: 11.0},
+			},
+		},
+		{
+			App: "mgrid",
+			Rows: []experiments.Table1Row{
+				{Object: "U", ActualRank: 1, ActualPct: 54.3, SampleRank: 1, SamplePct: 54.0, SearchRank: 1, SearchPct: 53.8},
+				{Object: "R", ActualRank: 2, ActualPct: 31.7, SearchRank: 2, SearchPct: 32.4},
+			},
+		},
+	}
+}
+
+func table2Fixture() []experiments.Table2AppResult {
+	return []experiments.Table2AppResult{
+		{
+			App: "su2cor",
+			Rows: []experiments.Table2Row{
+				{Object: "U", ActualRank: 1, ActualPct: 37.8, TwoWayRank: 1, TwoWayPct: 36.2, TenWayRank: 1, TenWayPct: 37.5},
+				{Object: "W1", ActualRank: 2, ActualPct: 14.2, TenWayRank: 2, TenWayPct: 13.8},
+				{Object: "W2", ActualRank: 3, ActualPct: 9.6},
+			},
+			TwoWayIterations: 41, TenWayIterations: 12,
+			TwoWayDone: true, TenWayDone: true,
+		},
+	}
+}
+
+func resonanceFixture() experiments.ResonanceResult {
+	rx, ry, x := obj(0, "RX"), obj(1, "RY"), obj(2, "X")
+	return experiments.ResonanceResult{
+		FixedInterval: 2000,
+		PrimeInterval: 1999,
+		Actual: []truth.Row{
+			{Object: rx, Misses: 9000, Pct: 22.5},
+			{Object: ry, Misses: 9000, Pct: 22.5},
+			{Object: x, Misses: 4480, Pct: 11.2},
+		},
+		Fixed: []core.Estimate{
+			{Object: rx, Pct: 37.1, Samples: 742},
+			{Object: ry, Pct: 17.6, Samples: 352},
+			{Object: x, Pct: 11.4, Samples: 228},
+		},
+		Prime: []core.Estimate{
+			{Object: rx, Pct: 22.8, Samples: 456},
+			{Object: ry, Pct: 22.1, Samples: 442},
+			{Object: x, Pct: 11.1, Samples: 222},
+		},
+		Random: []core.Estimate{
+			{Object: rx, Pct: 22.4, Samples: 448},
+			{Object: ry, Pct: 22.7, Samples: 454},
+			{Object: x, Pct: 11.3, Samples: 226},
+		},
+		FixedMaxErr:    14.6,
+		PrimeMaxErr:    0.4,
+		RandomMaxErr:   0.2,
+		FixedRXRYSplit: [2]float64{37.1, 17.6},
+		PrimeRXRYSplit: [2]float64{22.8, 22.1},
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1", experiments.RenderTable1(table1Fixture()))
+}
+
+func TestGoldenTable2(t *testing.T) {
+	checkGolden(t, "table2", experiments.RenderTable2(table2Fixture()))
+}
+
+func TestGoldenResonance(t *testing.T) {
+	checkGolden(t, "resonance", experiments.RenderResonance(resonanceFixture()))
+}
+
+// TestGoldenCSV pins the CSV escaping rules alongside the text renderer.
+func TestGoldenCSV(t *testing.T) {
+	tab := &report.Table{
+		Title:   "ignored by CSV",
+		Headers: []string{"name", "value", "note"},
+		Rows: [][]string{
+			{"plain", "1", "no escaping"},
+			{"comma, inside", "2", `quote " inside`},
+			{"newline\ninside", "3", ""},
+		},
+	}
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "csv.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/report -update` to create): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Fatalf("CSV output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, sb.String(), string(want))
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// decodeAll reads every event from data, stopping at EOF or the first
+// decode error. It must never panic, whatever the input.
+func decodeAll(data []byte) ([]Event, error) {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+}
+
+// encodeAll writes events through a Writer.
+func encodeAll(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		if ev.Compute > 0 {
+			w.Compute(ev.Compute)
+		} else {
+			w.Ref(ev.Addr, ev.Write)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// normalize applies the Writer's canonicalization to an event stream:
+// consecutive compute records coalesce and zero-length compute records
+// vanish (including a trailing one).
+func normalize(events []Event) []Event {
+	var out []Event
+	var pending uint64
+	for _, ev := range events {
+		if ev.Compute > 0 {
+			pending += ev.Compute
+			continue
+		}
+		if pending > 0 {
+			out = append(out, Event{Compute: pending})
+			pending = 0
+		}
+		out = append(out, ev)
+	}
+	if pending > 0 {
+		out = append(out, Event{Compute: pending})
+	}
+	return out
+}
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the decoder (which must
+// reject or decode them without panicking) and, when they decode cleanly,
+// re-encodes the events and requires the second encoding to round-trip
+// bit-exactly.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seeds: a real recorded stream, the degenerate empties, truncations,
+	// and junk.
+	valid, err := encodeAll([]Event{
+		{Addr: 0x10000},
+		{Compute: 3},
+		{Addr: 0x10008, Write: true},
+		{Compute: 1 << 40},
+		{Addr: 0x8, Write: false}, // large negative delta
+		{Addr: 0xffff_ffff_ffff_fff0},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MBTR1\n"))
+	f.Add([]byte("MBTR1\n\x00"))                     // truncated compute
+	f.Add([]byte("MBTR1\n\x01"))                     // truncated ref
+	f.Add([]byte("MBTR1\n\x03\x00"))                 // unknown opcode
+	f.Add([]byte("MBTR1\n\x00\x00\x01\x02\x02\x04")) // zero compute, refs
+	f.Add([]byte("not a trace at all"))
+	f.Add(bytes.Repeat([]byte{0x01, 0x80}, 50)) // varint continuation abuse
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := decodeAll(data)
+		if err != nil {
+			// Any error must be one of the package's typed errors (possibly
+			// wrapped); corrupt input must never panic or misreport.
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		// Clean decode: encode -> decode must reproduce the canonical
+		// stream, and a second encode must be byte-identical.
+		enc1, err := encodeAll(events)
+		if err != nil {
+			t.Fatalf("encode of decoded events failed: %v", err)
+		}
+		events2, err := decodeAll(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		want := normalize(events)
+		if len(events2) != len(want) {
+			t.Fatalf("round-trip event count %d, want %d", len(events2), len(want))
+		}
+		for i := range want {
+			if events2[i] != want[i] {
+				t.Fatalf("round-trip event %d = %+v, want %+v", i, events2[i], want[i])
+			}
+		}
+		enc2, err := encodeAll(events2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding not a fixed point:\nfirst:  %x\nsecond: %x", enc1, enc2)
+		}
+	})
+}

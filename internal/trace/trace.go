@@ -205,21 +205,42 @@ func Record(w io.Writer, wl machine.Workload, m *machine.Machine, budget uint64)
 }
 
 // Replay is a machine.Workload that re-issues a decoded trace. The whole
-// trace is loaded into memory so replay can cycle past the end (workloads
-// must be cyclic).
+// trace is compiled into machine.Ref batches once at load time — compute
+// records fold into the preceding reference's Compute payload — so Step
+// hands pre-built slices straight to the machine's batched engine with no
+// per-event work; a machine in Scalar mode executes the identical
+// per-event stream one reference at a time.
 type Replay struct {
-	name   string
-	events []Event
-	pos    int
+	name string
+	// refs is the compiled reference stream, Compute payloads folded in.
+	refs []mem.Ref
+	// breaks are compute records that could not fold into a reference: a
+	// compute at the head of the trace, or one following another compute
+	// record (the Writer coalesces those, so breaks only appear in
+	// hand-crafted traces). breaks[i] fires before refs[breaks[i].ref].
+	breaks  []computeBreak
+	nEvents int
+	pos     int // next reference to issue
+	nextBk  int // next break to issue
 }
 
-// NewReplay reads an entire trace from r.
+type computeBreak struct {
+	ref int // index into refs before which the computation runs
+	n   uint64
+}
+
+// replayChunk is the number of references issued per Step call; budget
+// overshoot is identical between batched and scalar machines because the
+// chunk boundary does not depend on hit/miss behaviour.
+const replayChunk = 4096
+
+// NewReplay reads an entire trace from r and compiles it for replay.
 func NewReplay(name string, r io.Reader) (*Replay, error) {
 	tr, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	var events []Event
+	rp := &Replay{name: name}
 	for {
 		ev, err := tr.Next()
 		if err == io.EOF {
@@ -228,16 +249,35 @@ func NewReplay(name string, r io.Reader) (*Replay, error) {
 		if err != nil {
 			return nil, err
 		}
-		events = append(events, ev)
+		rp.nEvents++
+		if ev.Compute > 0 {
+			if n := len(rp.refs); n > 0 && rp.refs[n-1].Compute == 0 {
+				rp.refs[n-1].Compute = ev.Compute
+			} else {
+				rp.breaks = append(rp.breaks, computeBreak{ref: len(rp.refs), n: ev.Compute})
+			}
+			continue
+		}
+		rp.refs = append(rp.refs, mem.Ref{Addr: ev.Addr, Write: ev.Write})
 	}
-	if len(events) == 0 {
+	if rp.nEvents == 0 {
 		return nil, fmt.Errorf("trace: empty trace")
 	}
-	return &Replay{name: name, events: events}, nil
+	return rp, nil
 }
 
 // Len returns the number of events in the trace.
-func (r *Replay) Len() int { return len(r.events) }
+func (r *Replay) Len() int { return r.nEvents }
+
+// Refs returns the number of memory references in the trace.
+func (r *Replay) Refs() int { return len(r.refs) }
+
+// Reset rewinds the replay to the start of the trace, so one compiled
+// trace can drive several fresh machines.
+func (r *Replay) Reset() {
+	r.pos = 0
+	r.nextBk = 0
+}
 
 // Name implements machine.Workload.
 func (r *Replay) Name() string { return "replay:" + r.name }
@@ -249,12 +289,36 @@ func (r *Replay) Setup(m *machine.Machine) {}
 
 // Step replays a bounded chunk of the trace, wrapping at the end.
 func (r *Replay) Step(m *machine.Machine) {
-	const chunk = 4096
-	for i := 0; i < chunk; i++ {
-		r.issue(m, r.events[r.pos])
-		r.pos++
-		if r.pos == len(r.events) {
-			r.pos = 0
+	if len(r.refs) == 0 {
+		// Degenerate compute-only trace: one full cycle per Step.
+		for _, bk := range r.breaks {
+			m.Compute(bk.n)
+		}
+		return
+	}
+	for issued := 0; issued < replayChunk; {
+		for r.nextBk < len(r.breaks) && r.breaks[r.nextBk].ref == r.pos {
+			m.Compute(r.breaks[r.nextBk].n)
+			r.nextBk++
+		}
+		end := r.pos + (replayChunk - issued)
+		if end > len(r.refs) {
+			end = len(r.refs)
+		}
+		if r.nextBk < len(r.breaks) && r.breaks[r.nextBk].ref < end {
+			end = r.breaks[r.nextBk].ref
+		}
+		m.AccessBatch(r.refs[r.pos:end])
+		issued += end - r.pos
+		r.pos = end
+		if r.pos == len(r.refs) {
+			// Trailing breaks (a compute at the very end of the trace)
+			// fire before wrapping.
+			for r.nextBk < len(r.breaks) {
+				m.Compute(r.breaks[r.nextBk].n)
+				r.nextBk++
+			}
+			r.pos, r.nextBk = 0, 0
 		}
 	}
 }
@@ -262,18 +326,20 @@ func (r *Replay) Step(m *machine.Machine) {
 // ReplayOnce issues every event in the trace exactly once, regardless of
 // instruction budgets — a bit-exact re-execution of the recorded run.
 func (r *Replay) ReplayOnce(m *machine.Machine) {
-	for _, ev := range r.events {
-		r.issue(m, ev)
+	pos, bk := 0, 0
+	for pos < len(r.refs) {
+		for bk < len(r.breaks) && r.breaks[bk].ref == pos {
+			m.Compute(r.breaks[bk].n)
+			bk++
+		}
+		end := len(r.refs)
+		if bk < len(r.breaks) && r.breaks[bk].ref < end {
+			end = r.breaks[bk].ref
+		}
+		m.AccessBatch(r.refs[pos:end])
+		pos = end
 	}
-}
-
-func (r *Replay) issue(m *machine.Machine, ev Event) {
-	switch {
-	case ev.Compute > 0:
-		m.Compute(ev.Compute)
-	case ev.Write:
-		m.Store(ev.Addr)
-	default:
-		m.Load(ev.Addr)
+	for ; bk < len(r.breaks); bk++ {
+		m.Compute(r.breaks[bk].n)
 	}
 }

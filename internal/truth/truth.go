@@ -25,9 +25,12 @@ type Row struct {
 // (instrumentation-handler misses are excluded: ground truth describes the
 // application, and separate cache statistics capture total perturbation).
 type Counter struct {
-	om     *objmap.Map
-	m      *machine.Machine
-	counts map[int]uint64
+	om *objmap.Map
+	m  *machine.Machine
+	// counts is indexed by dense object ID (zero-padded on demand): the
+	// OnMiss hook runs once per cache miss, so the counter increment must
+	// not pay a map hash.
+	counts []uint64
 	// Total counts all application misses, matched to an object or not.
 	Total uint64
 	// Unmatched counts application misses outside any known object.
@@ -43,7 +46,7 @@ type Counter struct {
 // Attach installs the counter on the machine, chaining any existing
 // OnMiss observer.
 func Attach(m *machine.Machine, om *objmap.Map) *Counter {
-	c := &Counter{om: om, m: m, counts: make(map[int]uint64)}
+	c := &Counter{om: om, m: m}
 	prev := m.OnMiss
 	m.OnMiss = func(a mem.Addr, write, inHandler bool) {
 		if prev != nil {
@@ -57,6 +60,9 @@ func Attach(m *machine.Machine, om *objmap.Map) *Counter {
 		if obj == nil {
 			c.Unmatched++
 			return
+		}
+		for len(c.counts) <= obj.ID {
+			c.counts = append(c.counts, 0)
 		}
 		c.counts[obj.ID]++
 		if c.BucketCycles != 0 {
@@ -73,7 +79,7 @@ func Attach(m *machine.Machine, om *objmap.Map) *Counter {
 // Misses returns the exact miss count for the named object (0 if unknown).
 func (c *Counter) Misses(name string) uint64 {
 	for id, n := range c.counts {
-		if c.om.ByID(id).Name == name {
+		if n > 0 && c.om.ByID(id).Name == name {
 			return n
 		}
 	}
@@ -93,6 +99,9 @@ func (c *Counter) Pct(name string) float64 {
 func (c *Counter) Ranked() []Row {
 	out := make([]Row, 0, len(c.counts))
 	for id, n := range c.counts {
+		if n == 0 {
+			continue
+		}
 		pct := 0.0
 		if c.Total > 0 {
 			pct = 100 * float64(n) / float64(c.Total)

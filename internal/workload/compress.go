@@ -22,6 +22,7 @@ type Compress struct {
 	inPos, outPos             uint64
 	rng                       *xorshift64
 	dictEntries               uint64
+	batch                     []mem.Ref
 }
 
 func init() { register("compress", func() machine.Workload { return &Compress{} }) }
@@ -56,31 +57,38 @@ func (w *Compress) Setup(m *machine.Machine) {
 // behaviourally: sequential input reads, hash-table probes whose index
 // depends on a rolling hash of recent input, and output writes at the
 // empirically measured SPEC compression ratio (~1.77:1), so output misses
-// come out at roughly 35.6/63.0 of input misses.
+// come out at roughly 35.6/63.0 of input misses. The whole chunk's
+// reference stream depends only on workload state, never on cache
+// outcomes, so it is assembled up front and issued as one batch with the
+// per-byte computation attached to the references it follows.
 func (w *Compress) Step(m *machine.Machine) {
+	// Workload state lives in locals for the duration of the chunk: the
+	// appends below write through the heap, so field accesses could not
+	// otherwise stay in registers across them.
 	hash := uint64(0)
+	batch := w.batch[:0]
+	rng := *w.rng
+	inPos, outPos, dict := w.inPos, w.outPos, w.dictEntries
 	for i := uint64(0); i < compressChunk; i++ {
-		// Read one input byte (sequential; one miss per 64 bytes).
-		m.Load(w.orig + mem.Addr(w.inPos%compressOrig))
-		w.inPos++
-		// Rolling hash of the (synthetic) input byte + match search: the
+		// Read one input byte (sequential; one miss per 64 bytes),
+		// followed by the rolling hash + match search of that byte: the
 		// dominant compute cost.
-		hash = hash*33 + (w.rng.next() & 0xff)
-		m.Compute(52)
+		batch = append(batch, mem.Ref{Addr: w.orig + mem.Addr(inPos%compressOrig), Compute: 52})
+		inPos++
+		hash = hash*33 + (rng.next() & 0xff)
 		// Probe the hash table every other byte (code lookup).
 		if i%2 == 0 {
 			slot := hash % (compressHtab / 8)
-			m.Load(w.htab + mem.Addr(slot*8))
-			m.Compute(6)
+			batch = append(batch, mem.Ref{Addr: w.htab + mem.Addr(slot*8), Compute: 6})
 		}
 		// A new dictionary entry roughly every fourth byte: htab insert
 		// plus an occasional codetab update.
 		if i%4 == 1 {
 			slot := hash % (compressHtab / 8)
-			m.Store(w.htab + mem.Addr(slot*8))
-			w.dictEntries++
-			if w.dictEntries%16 == 0 {
-				m.Store(w.codetab + mem.Addr((w.dictEntries/16*8)%compressCodetab))
+			batch = append(batch, mem.Ref{Addr: w.htab + mem.Addr(slot*8), Write: true})
+			dict++
+			if dict%16 == 0 {
+				batch = append(batch, mem.Ref{Addr: w.codetab + mem.Addr((dict/16*8)%compressCodetab), Write: true})
 			}
 		}
 		// Emit compressed output at the SPEC ratio: on average 9 output
@@ -89,9 +97,13 @@ func (w *Compress) Step(m *machine.Machine) {
 		// variable-length matches make the output byte positions
 		// aperiodic relative to the input, so the miss stream has no
 		// fixed period for a sampling interval to resonate with.
-		if w.rng.intn(16) < 9 {
-			m.Store(w.comp + mem.Addr(w.outPos%compressComp))
-			w.outPos++
+		if rng.intn(16) < 9 {
+			batch = append(batch, mem.Ref{Addr: w.comp + mem.Addr(outPos%compressComp), Write: true})
+			outPos++
 		}
 	}
+	*w.rng = rng
+	w.inPos, w.outPos, w.dictEntries = inPos, outPos, dict
+	m.AccessBatch(batch)
+	w.batch = batch[:0]
 }

@@ -29,6 +29,7 @@ type Ijpeg struct {
 	compressed, quantTbl     mem.Addr
 	inPos, outPos, wsPos     uint64
 	linesSinceWorkspaceTouch int
+	batch                    []mem.Ref
 }
 
 func init() { register("ijpeg", func() machine.Workload { return &Ijpeg{} }) }
@@ -60,24 +61,26 @@ func (w *Ijpeg) Setup(m *machine.Machine) {
 
 // Step encodes one 8x8-pixel MCU row fragment: read a cache line's worth
 // of pixels, run the (expensive) DCT/quantization, emit entropy-coded
-// bytes, and occasionally touch the row workspace.
+// bytes, and occasionally touch the row workspace. The reference stream
+// depends only on workload state, so each Step is issued as one batch
+// with the DCT compute attached to the quant-table read it follows.
 func (w *Ijpeg) Step(m *machine.Machine) {
 	// One line (64 pixels' worth of bytes) of the image per step chunk;
 	// process 16 lines per Step to amortize scheduling.
+	batch := w.batch[:0]
 	for chunk := 0; chunk < 16; chunk++ {
 		base := w.image + mem.Addr(w.inPos%ijpegImage)
 		for b := uint64(0); b < 64; b += 8 {
-			m.Load(base + mem.Addr(b))
+			batch = append(batch, mem.Ref{Addr: base + mem.Addr(b)})
 		}
 		w.inPos += 64
-		// Quant table consulted per block: tiny, always resident.
-		m.Load(w.quantTbl + mem.Addr((w.inPos/64)%2*64))
+		// Quant table consulted per block (tiny, always resident), then
 		// DCT + quantization + Huffman: the dominating compute.
-		m.Compute(7600)
+		batch = append(batch, mem.Ref{Addr: w.quantTbl + mem.Addr((w.inPos/64)%2*64), Compute: 7600})
 		// Entropy-coded output: ~9.4 bytes per 64 input bytes -> one
 		// output line per ~6.8 input lines.
 		for k := 0; k < 9; k++ {
-			m.Store(w.compressed + mem.Addr(w.outPos%ijpegOut))
+			batch = append(batch, mem.Ref{Addr: w.compressed + mem.Addr(w.outPos%ijpegOut), Write: true})
 			w.outPos++
 		}
 		// Row workspace: one line touched every 256 image lines. The
@@ -86,10 +89,12 @@ func (w *Ijpeg) Step(m *machine.Machine) {
 		w.linesSinceWorkspaceTouch++
 		if w.linesSinceWorkspaceTouch >= 256 {
 			w.linesSinceWorkspaceTouch = 0
-			m.Store(w.workspace + mem.Addr(w.wsPos%ijpegWorkspace))
+			batch = append(batch, mem.Ref{Addr: w.workspace + mem.Addr(w.wsPos%ijpegWorkspace), Write: true})
 			w.wsPos += 64
 		}
 	}
+	m.AccessBatch(batch)
+	w.batch = batch[:0]
 }
 
 // Blocks exposes the two heap block addresses (for tests).

@@ -168,18 +168,28 @@ func storeSweep(base mem.Addr, size, cpe uint64) unit {
 // pairSweep returns a unit sweeping the same segment of two arrays
 // element-by-element together (a(i) and b(i) in the same loop iteration),
 // producing strictly alternating cache misses between the two arrays —
-// the access structure behind tomcatv's RX/RY sampling resonance.
+// the access structure behind tomcatv's RX/RY sampling resonance. The
+// interleaved stores are issued as reference batches with the per-element
+// computation attached to the second store of each pair, reproducing the
+// scalar Store/Store/Compute sequence exactly.
 func pairSweep(a, b mem.Addr, size, cpe uint64) unit {
 	var pos uint64
 	_ = segs(size)
+	batch := make([]mem.Ref, 0, 2048)
 	return func(m *machine.Machine) {
 		end := pos + segBytes
 		for off := pos; off < end; off += 8 {
-			m.Store(a + mem.Addr(off))
-			m.Store(b + mem.Addr(off))
-			if cpe > 0 {
-				m.Compute(cpe)
+			batch = append(batch,
+				mem.Ref{Addr: a + mem.Addr(off), Write: true},
+				mem.Ref{Addr: b + mem.Addr(off), Write: true, Compute: cpe})
+			if len(batch) == cap(batch) {
+				m.AccessBatch(batch)
+				batch = batch[:0]
 			}
+		}
+		if len(batch) > 0 {
+			m.AccessBatch(batch)
+			batch = batch[:0]
 		}
 		pos = end % size
 	}

@@ -131,6 +131,12 @@ type Config struct {
 	// TrackTruth attaches exact ground-truth accounting (the "Actual"
 	// column). Enabled by default in NewSystem; set SkipTruth to disable.
 	SkipTruth bool
+	// ScalarRefs disables the batched reference fast path, forcing every
+	// memory reference through the per-reference scalar loop. Batched and
+	// scalar execution are bit-identical (the differential oracle tests
+	// enforce it); scalar mode is the trusted baseline those tests and
+	// cmd/mbbench compare against.
+	ScalarRefs bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -173,6 +179,7 @@ func NewSystem(cfg Config) *System {
 		p.EnableTimesharing(cfg.Timeshare, q)
 	}
 	m := machine.New(space, c, p, cfg.Costs)
+	m.Scalar = cfg.ScalarRefs
 	om := objmap.New(space)
 	om.BindSpace(space)
 	sys := &System{Machine: m, Objects: om}
