@@ -5,14 +5,23 @@
 //	mbtables -resonance            the §3.1 sampling-interval study
 //	mbtables -table 1 -apps tomcatv,mgrid -csv
 //	mbtables -table 1 -paper       paper-fidelity parameters (slow)
+//	mbtables -table 1 -sanitize    cross-check the simulator while running
+//	mbtables -table 1 -faults drop-miss=0.2,seed=7 -retries 2
+//
+// Failed application cells (panic, sanitizer violation, unrecovered
+// injected faults) render as annotated gaps; the table is still printed,
+// every cell error is listed on stderr, and the exit status is nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"membottle"
 	"membottle/internal/experiments"
 	"membottle/internal/report"
 )
@@ -25,12 +34,33 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		paper     = flag.Bool("paper", false, "paper-fidelity parameters (1-in-50,000 sampling, 10x budgets)")
 		seed      = flag.Int64("seed", 0, "seed for randomized components")
+		budget    = flag.Uint64("budget", 0, "per-run application instruction budget (0: per-app default)")
+		sanitize  = flag.Bool("sanitize", false, "enable the invariant sanitizer on every run (slower)")
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. drop-miss=0.1,apps=tomcatv,seed=7")
+		retries   = flag.Int("retries", 0, "retries for cells that fail due to injected faults")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Paper: *paper, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := experiments.Options{
+		Paper:    *paper,
+		Seed:     *seed,
+		Budget:   *budget,
+		Sanitize: *sanitize,
+		Retries:  *retries,
+		Ctx:      ctx,
+	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
+	}
+	if *faults != "" {
+		fc, err := membottle.ParseFaults(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Faults = fc
 	}
 
 	emit := func(t *report.Table) {
@@ -46,27 +76,48 @@ func main() {
 		fmt.Println()
 	}
 
+	// reportCells lists every failed cell on stderr; the table has
+	// already been rendered with annotated gaps. Returns whether any
+	// cell failed.
+	failed := false
+	reportCells := func(err error) {
+		if err == nil {
+			return
+		}
+		failed = true
+		cells := experiments.CellErrors(err)
+		if len(cells) == 0 {
+			fmt.Fprintln(os.Stderr, "mbtables:", err)
+			return
+		}
+		for _, ce := range cells {
+			fmt.Fprintln(os.Stderr, "mbtables: cell failed:", ce)
+			if ce.Stack != nil {
+				fmt.Fprintf(os.Stderr, "%s\n", ce.Stack)
+			}
+		}
+	}
+
 	ran := false
 	switch *table {
 	case 0:
 		// fallthrough to resonance check
 	case 1:
 		rs, err := experiments.Table1(opt)
-		if err != nil {
-			fatal(err)
-		}
 		emit(experiments.RenderTable1(rs))
 		for _, r := range rs {
+			if r.Err != nil {
+				continue
+			}
 			fmt.Printf("# %s: %d samples (interval %d), search %d iterations (converged=%v)\n",
 				r.App, r.SampleCount, r.SampleInterval, r.SearchIterations, r.SearchConverged)
 		}
+		reportCells(err)
 		ran = true
 	case 2:
 		rs, err := experiments.Table2(opt)
-		if err != nil {
-			fatal(err)
-		}
 		emit(experiments.RenderTable2(rs))
+		reportCells(err)
 		ran = true
 	default:
 		fatal(fmt.Errorf("unknown table %d (want 1 or 2)", *table))
@@ -84,6 +135,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

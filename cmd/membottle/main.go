@@ -6,13 +6,19 @@
 //
 //	membottle -app tomcatv -profiler search -n 10
 //	membottle -app ijpeg -profiler sample -interval 2000 -mode prime
+//	membottle -app swim -profiler sample -sanitize
+//	membottle -app tomcatv -profiler sample -stop-cycles 50000000 -checkpoint run.mbcp
+//	membottle -app tomcatv -profiler sample -resume run.mbcp
 //	membottle -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"membottle"
@@ -21,15 +27,20 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "tomcatv", "workload to profile (see -list)")
-		profiler = flag.String("profiler", "search", "technique: sample | search")
-		budget   = flag.Uint64("budget", 130_000_000, "application instructions to simulate")
-		interval = flag.Uint64("interval", 2000, "sampling: misses between samples")
-		mode     = flag.String("mode", "fixed", "sampling interval mode: fixed | prime | random")
-		n        = flag.Int("n", 10, "search: number of region counters")
-		searchIv = flag.Uint64("search-interval", 8_000_000, "search: initial iteration length (cycles)")
-		seed     = flag.Int64("seed", 0, "seed for randomized sampling intervals")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		app        = flag.String("app", "tomcatv", "workload to profile (see -list)")
+		profiler   = flag.String("profiler", "search", "technique: sample | search")
+		budget     = flag.Uint64("budget", 130_000_000, "application instructions to simulate")
+		interval   = flag.Uint64("interval", 2000, "sampling: misses between samples")
+		mode       = flag.String("mode", "fixed", "sampling interval mode: fixed | prime | random")
+		n          = flag.Int("n", 10, "search: number of region counters")
+		searchIv   = flag.Uint64("search-interval", 8_000_000, "search: initial iteration length (cycles)")
+		seed       = flag.Int64("seed", 0, "seed for randomized sampling intervals")
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		sanitize   = flag.Bool("sanitize", false, "enable the invariant sanitizer (slower; cross-checks the simulation)")
+		faultsSpec = flag.String("faults", "", "fault-injection spec, e.g. drop-miss=0.1,zero-counter=0.01,seed=7")
+		ckptPath   = flag.String("checkpoint", "", "write a checkpoint to this file when the run stops")
+		resumePath = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		stopCycles = flag.Uint64("stop-cycles", 0, "stop cleanly at the first step boundary past this cycle count")
 	)
 	flag.Parse()
 
@@ -38,7 +49,16 @@ func main() {
 		return
 	}
 
-	sys := membottle.NewSystem(membottle.DefaultConfig())
+	cfg := membottle.DefaultConfig()
+	cfg.Sanitize = *sanitize
+	if *faultsSpec != "" {
+		fc, err := membottle.ParseFaults(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = fc
+	}
+	sys := membottle.NewSystem(cfg)
 	if err := sys.LoadWorkloadByName(*app); err != nil {
 		fatal(err)
 	}
@@ -67,7 +87,47 @@ func main() {
 	if err := sys.Attach(prof); err != nil {
 		fatal(err)
 	}
-	sys.Run(*budget)
+
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		err = sys.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *resumePath, err))
+		}
+		fmt.Printf("resumed from %s at cycle %d\n", *resumePath, sys.Machine.Cycles)
+	}
+	sys.Machine.StopCycles = *stopCycles
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := sys.RunContext(ctx, *budget); err != nil {
+		var cancelled *membottle.CancelledError
+		if errors.As(err, &cancelled) && cancelled.Clean {
+			fmt.Printf("run stopped cleanly at cycle %d (%d app instructions): %v\n",
+				cancelled.Cycles, cancelled.AppInsts, cancelled.Cause)
+		} else {
+			fatal(err)
+		}
+	}
+
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = sys.Checkpoint(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("checkpoint %s: %w", *ckptPath, err))
+		}
+		fmt.Printf("checkpoint written to %s at cycle %d\n", *ckptPath, sys.Machine.Cycles)
+	}
 
 	t := &report.Table{
 		Title:   fmt.Sprintf("%s under %s", *app, *profiler),
@@ -99,6 +159,13 @@ func main() {
 	if s, ok := prof.(*membottle.Sampler); ok {
 		fmt.Printf("sampling: %d samples at interval %d (%d matched an object)\n",
 			s.Samples(), s.Interval(), s.Matched())
+	}
+	if *sanitize {
+		boundaries, violations := sys.SanitizeReport()
+		fmt.Printf("sanitizer: %d boundary checks, %d violations\n", boundaries, violations)
+	}
+	if st := sys.FaultStats(); st != nil {
+		fmt.Printf("faults injected: %s\n", st)
 	}
 }
 

@@ -181,3 +181,44 @@ func (c *Cache) Resident() int {
 	}
 	return n
 }
+
+// --- checkpoint state ----------------------------------------------------
+
+// WayState is one cache line's serializable metadata.
+type WayState struct {
+	Tag   uint64
+	Stamp uint64 // 0 = invalid
+}
+
+// State is a full snapshot of the cache: geometry-independent counters
+// plus every way's tag and LRU stamp. Restoring it into a cache of the
+// same geometry reproduces hit/miss behaviour exactly, including LRU
+// ordering (stamps are absolute clock values).
+type State struct {
+	Clock uint64
+	Stats Stats
+	Ways  []WayState
+}
+
+// State captures the cache's current contents and statistics.
+func (c *Cache) State() State {
+	ws := make([]WayState, len(c.ways))
+	for i, w := range c.ways {
+		ws[i] = WayState{Tag: w.tag, Stamp: w.stamp}
+	}
+	return State{Clock: c.clock, Stats: c.Stats, Ways: ws}
+}
+
+// SetState restores a snapshot taken by State. The cache must have the
+// same geometry (same number of ways) as the snapshotted one.
+func (c *Cache) SetState(s State) error {
+	if len(s.Ways) != len(c.ways) {
+		return fmt.Errorf("cache: snapshot has %d ways, cache has %d", len(s.Ways), len(c.ways))
+	}
+	for i, w := range s.Ways {
+		c.ways[i] = way{tag: w.Tag, stamp: w.Stamp}
+	}
+	c.clock = s.Clock
+	c.Stats = s.Stats
+	return nil
+}

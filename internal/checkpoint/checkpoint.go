@@ -1,0 +1,522 @@
+// Package checkpoint defines the versioned binary snapshot format for a
+// supervised simulation run (magic "MBCP1\n"). A snapshot captures the
+// machine counters, the full cache metadata, the PMU, optional
+// ground-truth totals, a verification fingerprint of the address space,
+// and the opaque private state of the workload and (optionally) the
+// profiler. Restoring a snapshot into a freshly set-up system resumes the
+// run byte-identically to one that was never interrupted.
+//
+// The decoder follows the same discipline as the trace format: check the
+// magic, check the version, return typed errors (ErrBadMagic,
+// ErrBadVersion, ErrCorrupt, ErrTooLarge) on malformed input, and never
+// trust a declared length — section payloads are read through a capped,
+// chunked copy and element counts are validated against the bytes
+// actually present before any allocation, so fuzzed or hostile inputs
+// cannot trigger huge allocations.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/pmu"
+	"membottle/internal/truth"
+)
+
+// Magic identifies a membottle checkpoint stream.
+const Magic = "MBCP1\n"
+
+// Version is the current format version.
+const Version = 1
+
+// MaxSectionBytes caps any single section's payload. The largest real
+// section is the cache metadata (16 bytes per way before varint
+// compression; 512 KiB for the default 2 MB cache), so 64 MiB leaves
+// room for very large configurations while bounding hostile input.
+const MaxSectionBytes = 64 << 20
+
+// Typed decode errors.
+var (
+	ErrBadMagic   = errors.New("checkpoint: bad magic (not a membottle checkpoint)")
+	ErrBadVersion = errors.New("checkpoint: unsupported format version")
+	ErrCorrupt    = errors.New("checkpoint: corrupt or truncated data")
+	ErrTooLarge   = errors.New("checkpoint: declared size exceeds limit")
+)
+
+// Section tags.
+const (
+	secMachine  byte = 1
+	secCache    byte = 2
+	secPMU      byte = 3
+	secTruth    byte = 4
+	secSpace    byte = 5
+	secWorkload byte = 6
+	secProfiler byte = 7
+	secEnd      byte = 0xFF
+)
+
+// SpaceInfo is a fingerprint of the simulated address space. The space
+// itself is reconstructed by re-running workload Setup (setup is
+// deterministic); the fingerprint verifies that the reconstruction
+// matches the snapshotted layout.
+type SpaceInfo struct {
+	Symbols    uint64
+	DataHi     mem.Addr
+	HeapHi     mem.Addr
+	ShadowHi   mem.Addr
+	LiveBlocks uint64
+}
+
+// Fingerprint captures a space's layout fingerprint.
+func Fingerprint(s *mem.Space) SpaceInfo {
+	_, dataHi := s.DataExtent()
+	_, heapHi := s.HeapExtent()
+	_, shadowHi := s.ShadowExtent()
+	return SpaceInfo{
+		Symbols:    uint64(len(s.Symbols())),
+		DataHi:     dataHi,
+		HeapHi:     heapHi,
+		ShadowHi:   shadowHi,
+		LiveBlocks: uint64(s.LiveHeapBlocks()),
+	}
+}
+
+// Opaque is a named opaque state blob (workload or profiler private
+// state, encoded by its owner).
+type Opaque struct {
+	Name string
+	Data []byte
+}
+
+// Snapshot is the decoded form of a checkpoint.
+type Snapshot struct {
+	Machine  machine.State
+	Cache    cache.State
+	PMU      pmu.State
+	Truth    *truth.State // nil when no ground-truth counter was attached
+	Space    SpaceInfo
+	Workload Opaque
+	Profiler *Opaque // nil when the run had no (checkpointable) profiler
+}
+
+// Write encodes the snapshot to w.
+func Write(w io.Writer, s *Snapshot) error {
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, Version)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	sec := func(tag byte, payload []byte) error {
+		var b []byte
+		b = append(b, tag)
+		b = binary.AppendUvarint(b, uint64(len(payload)))
+		b = append(b, payload...)
+		_, err := w.Write(b)
+		return err
+	}
+
+	var e enc
+	e.u64(s.Machine.Cycles)
+	e.u64(s.Machine.Insts)
+	e.u64(s.Machine.AppInsts)
+	e.u64(s.Machine.HandlerCycles)
+	e.u64(s.Machine.Interrupts)
+	if err := sec(secMachine, e.take()); err != nil {
+		return err
+	}
+
+	e.u64(s.Cache.Clock)
+	e.u64(s.Cache.Stats.Reads)
+	e.u64(s.Cache.Stats.Writes)
+	e.u64(s.Cache.Stats.Hits)
+	e.u64(s.Cache.Stats.Misses)
+	e.u64(uint64(len(s.Cache.Ways)))
+	for _, w := range s.Cache.Ways {
+		e.u64(w.Tag)
+		e.u64(w.Stamp)
+	}
+	if err := sec(secCache, e.take()); err != nil {
+		return err
+	}
+
+	p := s.PMU
+	e.u64(uint64(len(p.Counters)))
+	for _, c := range p.Counters {
+		e.u64(uint64(c.Base))
+		e.u64(uint64(c.Bound))
+		e.u64(c.Count)
+		e.bool(c.Enabled)
+	}
+	e.u64(p.GlobalMisses)
+	e.u64(uint64(p.LastMissAddr))
+	e.u64(p.MissThreshold)
+	e.u64(p.MissesToGo)
+	e.u64(p.TimerDeadline)
+	e.bool(p.TimerArmed)
+	e.bool(p.PendingMiss)
+	e.bool(p.PendingTimer)
+	e.u64(p.MissIrqs)
+	e.u64(p.TimerIrqs)
+	e.bool(p.Mux != nil)
+	if m := p.Mux; m != nil {
+		e.u64(uint64(m.Phys))
+		e.u64(m.Quantum)
+		e.u64(uint64(m.First))
+		e.u64(uint64(len(m.Active)))
+		for _, a := range m.Active {
+			e.bool(a)
+		}
+		e.u64(uint64(len(m.OnTime)))
+		for _, t := range m.OnTime {
+			e.u64(t)
+		}
+		e.u64(m.LastRotate)
+		e.u64(m.RotateAt)
+		e.u64(m.TotalTime)
+	}
+	if err := sec(secPMU, e.take()); err != nil {
+		return err
+	}
+
+	if t := s.Truth; t != nil {
+		e.u64(uint64(len(t.Counts)))
+		for _, c := range t.Counts {
+			e.u64(c)
+		}
+		e.u64(t.Total)
+		e.u64(t.Unmatched)
+		if err := sec(secTruth, e.take()); err != nil {
+			return err
+		}
+	}
+
+	e.u64(s.Space.Symbols)
+	e.u64(uint64(s.Space.DataHi))
+	e.u64(uint64(s.Space.HeapHi))
+	e.u64(uint64(s.Space.ShadowHi))
+	e.u64(s.Space.LiveBlocks)
+	if err := sec(secSpace, e.take()); err != nil {
+		return err
+	}
+
+	e.str(s.Workload.Name)
+	e.blob(s.Workload.Data)
+	if err := sec(secWorkload, e.take()); err != nil {
+		return err
+	}
+
+	if pr := s.Profiler; pr != nil {
+		e.str(pr.Name)
+		e.blob(pr.Data)
+		if err := sec(secProfiler, e.take()); err != nil {
+			return err
+		}
+	}
+
+	return sec(secEnd, nil)
+}
+
+// Read decodes a checkpoint from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	br := &byteReader{r: r}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading version", ErrCorrupt)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, ver, Version)
+	}
+
+	s := &Snapshot{}
+	seen := map[byte]bool{}
+	for {
+		var tag [1]byte
+		if _, err := io.ReadFull(br, tag[:]); err != nil {
+			return nil, fmt.Errorf("%w: missing end section", ErrCorrupt)
+		}
+		if tag[0] == secEnd {
+			// secEnd carries a zero length.
+			if n, err := binary.ReadUvarint(br); err != nil || n != 0 {
+				return nil, fmt.Errorf("%w: malformed end section", ErrCorrupt)
+			}
+			break
+		}
+		payload, err := readSection(br)
+		if err != nil {
+			return nil, err
+		}
+		if seen[tag[0]] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, tag[0])
+		}
+		seen[tag[0]] = true
+		d := dec{b: payload}
+		switch tag[0] {
+		case secMachine:
+			s.Machine = machine.State{
+				Cycles:        d.u64(),
+				Insts:         d.u64(),
+				AppInsts:      d.u64(),
+				HandlerCycles: d.u64(),
+				Interrupts:    d.u64(),
+			}
+		case secCache:
+			s.Cache.Clock = d.u64()
+			s.Cache.Stats = cache.Stats{
+				Reads: d.u64(), Writes: d.u64(), Hits: d.u64(), Misses: d.u64(),
+			}
+			n := d.count(2)
+			s.Cache.Ways = make([]cache.WayState, n)
+			for i := range s.Cache.Ways {
+				s.Cache.Ways[i] = cache.WayState{Tag: d.u64(), Stamp: d.u64()}
+			}
+		case secPMU:
+			n := d.count(4)
+			s.PMU.Counters = make([]pmu.Counter, n)
+			for i := range s.PMU.Counters {
+				s.PMU.Counters[i] = pmu.Counter{
+					Base:    mem.Addr(d.u64()),
+					Bound:   mem.Addr(d.u64()),
+					Count:   d.u64(),
+					Enabled: d.bool(),
+				}
+			}
+			s.PMU.GlobalMisses = d.u64()
+			s.PMU.LastMissAddr = mem.Addr(d.u64())
+			s.PMU.MissThreshold = d.u64()
+			s.PMU.MissesToGo = d.u64()
+			s.PMU.TimerDeadline = d.u64()
+			s.PMU.TimerArmed = d.bool()
+			s.PMU.PendingMiss = d.bool()
+			s.PMU.PendingTimer = d.bool()
+			s.PMU.MissIrqs = d.u64()
+			s.PMU.TimerIrqs = d.u64()
+			if d.bool() {
+				m := &pmu.MuxState{
+					Phys:    int(d.u64()),
+					Quantum: d.u64(),
+					First:   int(d.u64()),
+				}
+				m.Active = make([]bool, d.count(1))
+				for i := range m.Active {
+					m.Active[i] = d.bool()
+				}
+				m.OnTime = make([]uint64, d.count(1))
+				for i := range m.OnTime {
+					m.OnTime[i] = d.u64()
+				}
+				m.LastRotate = d.u64()
+				m.RotateAt = d.u64()
+				m.TotalTime = d.u64()
+				s.PMU.Mux = m
+			}
+		case secTruth:
+			t := &truth.State{}
+			t.Counts = make([]uint64, d.count(1))
+			for i := range t.Counts {
+				t.Counts[i] = d.u64()
+			}
+			t.Total = d.u64()
+			t.Unmatched = d.u64()
+			s.Truth = t
+		case secSpace:
+			s.Space = SpaceInfo{
+				Symbols:    d.u64(),
+				DataHi:     mem.Addr(d.u64()),
+				HeapHi:     mem.Addr(d.u64()),
+				ShadowHi:   mem.Addr(d.u64()),
+				LiveBlocks: d.u64(),
+			}
+		case secWorkload:
+			s.Workload = Opaque{Name: d.str(), Data: d.blob()}
+		case secProfiler:
+			s.Profiler = &Opaque{Name: d.str(), Data: d.blob()}
+		default:
+			// Unknown sections are an error: version 1 defines the full
+			// set, and silently skipping unknown state would resume a run
+			// that is not byte-identical.
+			return nil, fmt.Errorf("%w: unknown section %d", ErrCorrupt, tag[0])
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("section %d: %w", tag[0], d.err)
+		}
+		if len(d.b) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in section %d", ErrCorrupt, len(d.b), tag[0])
+		}
+	}
+	for _, req := range []byte{secMachine, secCache, secPMU, secSpace, secWorkload} {
+		if !seen[req] {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, req)
+		}
+	}
+	return s, nil
+}
+
+// readSection reads one section's declared length and payload. The
+// declared length is validated against MaxSectionBytes, and the payload
+// is accumulated through a chunked limited copy so a hostile length can
+// never force a large up-front allocation.
+func readSection(r io.Reader) ([]byte, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading section length", ErrCorrupt)
+	}
+	if n > MaxSectionBytes {
+		return nil, fmt.Errorf("%w: section of %d bytes (max %d)", ErrTooLarge, n, MaxSectionBytes)
+	}
+	var buf bytes.Buffer
+	copied, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if copied != int64(n) {
+		return nil, fmt.Errorf("%w: section truncated (%d of %d bytes)", ErrCorrupt, copied, n)
+	}
+	return buf.Bytes(), nil
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint while remaining
+// usable as an io.Reader (single-byte reads pass through).
+type byteReader struct {
+	r io.Reader
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	var p [1]byte
+	if _, err := io.ReadFull(b.r, p[:]); err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// --- encoding helpers ----------------------------------------------------
+
+// enc accumulates one section payload.
+type enc struct{ buf []byte }
+
+func (e *enc) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+func (e *enc) bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) blob(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// take returns the accumulated payload and resets the encoder.
+func (e *enc) take() []byte {
+	b := e.buf
+	e.buf = nil
+	return b
+}
+
+// dec decodes one section payload. Errors latch; subsequent reads return
+// zero values, and the caller checks err once at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.err = fmt.Errorf("%w: truncated bool", ErrCorrupt)
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.err = fmt.Errorf("%w: bool byte %d", ErrCorrupt, v)
+		return false
+	}
+	return v == 1
+}
+
+// count reads an element count and validates it against the bytes
+// actually remaining (each element occupies at least minBytes), so a
+// hostile count cannot drive a huge allocation.
+func (d *dec) count(minBytes int) uint64 {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)/minBytes) {
+		d.err = fmt.Errorf("%w: count %d exceeds available data", ErrCorrupt, n)
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string { return string(d.take("string")) }
+
+func (d *dec) blob() []byte {
+	b := d.take("blob")
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (d *dec) take(what string) []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("%w: %s of %d bytes exceeds available data", ErrCorrupt, what, n)
+		return nil
+	}
+	b := d.b[:n]
+	d.b = d.b[n:]
+	return b
+}

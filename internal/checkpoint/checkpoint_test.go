@@ -1,0 +1,237 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/pmu"
+	"membottle/internal/truth"
+)
+
+// sampleSnapshot builds a representative snapshot with every section
+// populated.
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Machine: machine.State{Cycles: 12345, Insts: 678, AppInsts: 600, HandlerCycles: 90, Interrupts: 3},
+		Cache: cache.State{
+			Clock: 42,
+			Stats: cache.Stats{Reads: 10, Writes: 5, Hits: 12, Misses: 3},
+			Ways: []cache.WayState{
+				{Tag: 0x1000, Stamp: 7}, {Tag: 0, Stamp: 0},
+				{Tag: 0x2000, Stamp: 9}, {Tag: 0x3000, Stamp: 11},
+			},
+		},
+		PMU: pmu.State{
+			Counters: []pmu.Counter{
+				{Base: 0x100, Bound: 0x200, Count: 17, Enabled: true},
+				{Base: 0, Bound: 0, Count: 0, Enabled: false},
+			},
+			GlobalMisses:  3,
+			LastMissAddr:  0x1040,
+			MissThreshold: 1000,
+			MissesToGo:    997,
+			TimerDeadline: 50_000,
+			TimerArmed:    true,
+			MissIrqs:      2,
+			TimerIrqs:     1,
+		},
+		Truth:    &truth.State{Counts: []uint64{5, 0, 2}, Total: 9, Unmatched: 2},
+		Space:    SpaceInfo{Symbols: 3, DataHi: 0x1_0000_1000, HeapHi: 0x1_4100_2000, ShadowHi: 0xa_0000_0100, LiveBlocks: 2},
+		Workload: Opaque{Name: "tomcatv", Data: []byte{1, 2, 3}},
+		Profiler: &Opaque{Name: "*core.Sampler", Data: []byte{9, 8}},
+	}
+}
+
+func encode(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	data := encode(t, want)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Machine != want.Machine {
+		t.Errorf("machine: got %+v want %+v", got.Machine, want.Machine)
+	}
+	if got.Cache.Clock != want.Cache.Clock || got.Cache.Stats != want.Cache.Stats {
+		t.Errorf("cache header: got %+v want %+v", got.Cache, want.Cache)
+	}
+	for i := range want.Cache.Ways {
+		if got.Cache.Ways[i] != want.Cache.Ways[i] {
+			t.Errorf("way %d: got %+v want %+v", i, got.Cache.Ways[i], want.Cache.Ways[i])
+		}
+	}
+	if len(got.PMU.Counters) != len(want.PMU.Counters) || got.PMU.Counters[0] != want.PMU.Counters[0] {
+		t.Errorf("pmu counters: got %+v", got.PMU.Counters)
+	}
+	if got.PMU.GlobalMisses != want.PMU.GlobalMisses || got.PMU.TimerArmed != want.PMU.TimerArmed {
+		t.Errorf("pmu: got %+v", got.PMU)
+	}
+	if got.Truth == nil || got.Truth.Total != 9 || len(got.Truth.Counts) != 3 {
+		t.Errorf("truth: got %+v", got.Truth)
+	}
+	if got.Space != want.Space {
+		t.Errorf("space: got %+v want %+v", got.Space, want.Space)
+	}
+	if got.Workload.Name != "tomcatv" || !bytes.Equal(got.Workload.Data, []byte{1, 2, 3}) {
+		t.Errorf("workload: got %+v", got.Workload)
+	}
+	if got.Profiler == nil || got.Profiler.Name != "*core.Sampler" {
+		t.Errorf("profiler: got %+v", got.Profiler)
+	}
+}
+
+func TestRoundTripDeterministic(t *testing.T) {
+	a := encode(t, sampleSnapshot())
+	b := encode(t, sampleSnapshot())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestOptionalSectionsOmitted(t *testing.T) {
+	s := sampleSnapshot()
+	s.Truth = nil
+	s.Profiler = nil
+	got, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Truth != nil || got.Profiler != nil {
+		t.Errorf("optional sections resurrected: %+v %+v", got.Truth, got.Profiler)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTACHECKPOINT"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty input: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	data := encode(t, sampleSnapshot())
+	data[len(Magic)] = 99 // version byte follows the magic
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTruncatedInputIsCorrupt(t *testing.T) {
+	data := encode(t, sampleSnapshot())
+	for _, cut := range []int{len(Magic) + 1, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestHostileSectionLengthRejected(t *testing.T) {
+	// Magic + version + a section claiming more than MaxSectionBytes.
+	data := append([]byte(Magic), 1) // version
+	data = append(data, secMachine, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	_, err := Read(bytes.NewReader(data))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestHostileElementCountRejected(t *testing.T) {
+	// A truth section whose declared count dwarfs its payload must be
+	// rejected before allocation, not trusted.
+	data := append([]byte(Magic), 1)
+	data = append(data, secTruth, 6) // 6-byte payload
+	data = append(data, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(1) // version
+	// Two empty-count machine sections.
+	sec := []byte{secMachine, 5, 0, 0, 0, 0, 0}
+	buf.Write(sec)
+	buf.Write(sec)
+	buf.Write([]byte{secEnd, 0})
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMissingRequiredSectionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(1)
+	buf.Write([]byte{secEnd, 0})
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnknownSectionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(1)
+	buf.Write([]byte{0x40, 1, 0}) // unknown tag, 1-byte payload
+	buf.Write([]byte{secEnd, 0})
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzCheckpointDecode asserts that Read never panics and only ever
+// fails with the typed decode errors, and that any snapshot it accepts
+// re-encodes and re-decodes to the same sections (decode/encode/decode
+// consistency).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add(encode(f, sampleSnapshot()))
+	min := sampleSnapshot()
+	min.Truth = nil
+	min.Profiler = nil
+	minBytes := encode(f, min)
+	f.Add(minBytes)
+	// Seed corpus of malformed variants: truncations, a flipped magic,
+	// a bad version, hostile lengths.
+	f.Add(minBytes[:len(minBytes)/2])
+	f.Add([]byte("MBCPX\n\x01"))
+	f.Add(append([]byte(Magic), 0x63))
+	f.Add(append([]byte(Magic), 1, secMachine, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		s2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if s2.Machine != s.Machine || s2.Space != s.Space ||
+			s2.Workload.Name != s.Workload.Name || !bytes.Equal(s2.Workload.Data, s.Workload.Data) {
+			t.Fatalf("decode/encode/decode mismatch: %+v vs %+v", s2, s)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package core
+
+// Checkpoint support for the sampling profiler. The sampler's state is a
+// handful of counters plus a math/rand generator; the generator's internal
+// state is not serializable, so the checkpoint records the run-length
+// history of Int63n arguments consumed and the restore path replays them
+// against a freshly seeded generator. Int63n's consumption of the
+// underlying source is fully determined by the seed and the argument
+// sequence, so the replayed generator lands in exactly the original state.
+//
+// The n-way search profiler deliberately implements no checkpoint: its
+// state includes a priority queue of live region pointers mid-refinement,
+// and snapshotting it would freeze search decisions that are only
+// meaningful relative to the exact interrupt they were made in. Callers
+// get a typed ErrNotCheckpointable from the system layer instead.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// errSamplerState tags malformed sampler checkpoint payloads.
+var errSamplerState = errors.New("core: malformed sampler checkpoint state")
+
+// maxReplayDraws bounds generator replay so a corrupt checkpoint cannot
+// demand an effectively unbounded amount of CPU on restore.
+const maxReplayDraws = 1 << 24
+
+// CheckpointState implements machine.Checkpointer.
+func (s *Sampler) CheckpointState() ([]byte, error) {
+	if !s.installed {
+		return nil, fmt.Errorf("core: sampler not installed")
+	}
+	b := binary.AppendUvarint(nil, s.samples)
+	b = binary.AppendUvarint(b, s.matched)
+	b = binary.AppendUvarint(b, s.interval)
+	b = binary.AppendUvarint(b, uint64(len(s.counts)))
+	for _, c := range s.counts {
+		b = binary.AppendUvarint(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.draws)))
+	for _, d := range s.draws {
+		b = binary.AppendUvarint(b, d.arg)
+		b = binary.AppendUvarint(b, d.n)
+	}
+	return b, nil
+}
+
+// RestoreState implements machine.Checkpointer. The sampler must already
+// be installed on the restored machine (Install rebuilds the shadow
+// structures deterministically; this call then rewinds the counters and
+// generator to the snapshot).
+func (s *Sampler) RestoreState(data []byte) error {
+	if !s.installed {
+		return fmt.Errorf("core: sampler not installed")
+	}
+	d := stateDecoder{b: data}
+	samples := d.u64()
+	matched := d.u64()
+	interval := d.u64()
+	counts := make([]uint64, d.count(1))
+	for i := range counts {
+		counts[i] = d.u64()
+	}
+	nRuns := d.count(2)
+	draws := make([]drawRun, nRuns)
+	var total uint64
+	for i := range draws {
+		draws[i] = drawRun{arg: d.u64(), n: d.u64()}
+		total += draws[i].n
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", errSamplerState, len(d.b))
+	}
+	if interval == 0 {
+		return fmt.Errorf("%w: zero interval", errSamplerState)
+	}
+	if total > maxReplayDraws {
+		return fmt.Errorf("%w: %d generator draws exceed replay limit", errSamplerState, total)
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	for _, r := range draws {
+		if r.arg == 0 || r.arg > 1<<62 {
+			return fmt.Errorf("%w: draw argument %d out of range", errSamplerState, r.arg)
+		}
+		for j := uint64(0); j < r.n; j++ {
+			rng.Int63n(int64(r.arg))
+		}
+	}
+	s.samples, s.matched, s.interval = samples, matched, interval
+	s.counts = counts
+	s.draws = draws
+	s.rng = rng
+	return nil
+}
+
+// stateDecoder reads a uvarint sequence with latched error handling.
+type stateDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *stateDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, used := binary.Uvarint(d.b)
+	if used <= 0 {
+		d.err = fmt.Errorf("%w: truncated value", errSamplerState)
+		return 0
+	}
+	d.b = d.b[used:]
+	return v
+}
+
+// count reads an element count and validates it against the bytes
+// remaining (each element needs at least minBytes), so a hostile payload
+// cannot force a huge allocation.
+func (d *stateDecoder) count(minBytes int) uint64 {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)/minBytes) {
+		d.err = fmt.Errorf("%w: count %d exceeds available data", errSamplerState, n)
+		return 0
+	}
+	return n
+}

@@ -109,6 +109,13 @@ type Sampler struct {
 
 	interval uint64 // effective base interval after mode adjustment
 
+	// draws is the run-length-encoded history of Int63n arguments the
+	// random mode has consumed, kept so a checkpoint restore can replay
+	// the generator to the same position (math/rand state is not
+	// serializable). The argument sequence fully determines consumption,
+	// so replaying it from the same seed reproduces the stream exactly.
+	draws []drawRun
+
 	// Shadow-resident structures (perturbation model).
 	state    shadow.State
 	objTable shadow.Array
@@ -175,9 +182,22 @@ func (s *Sampler) nextInterval() uint64 {
 		if lo == 0 {
 			lo = 1
 		}
+		s.recordDraw(s.interval)
 		return lo + uint64(s.rng.Int63n(int64(s.interval)))
 	}
 	return s.interval
+}
+
+// drawRun records n consecutive Int63n(arg) draws.
+type drawRun struct{ arg, n uint64 }
+
+// recordDraw appends one draw to the run-length history.
+func (s *Sampler) recordDraw(arg uint64) {
+	if k := len(s.draws); k > 0 && s.draws[k-1].arg == arg {
+		s.draws[k-1].n++
+		return
+	}
+	s.draws = append(s.draws, drawRun{arg: arg, n: 1})
 }
 
 // handle is the miss-overflow interrupt handler. All memory it touches is

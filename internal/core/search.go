@@ -139,6 +139,7 @@ type Search struct {
 
 	lastGlobal uint64
 	interval   uint64
+	anomalies  uint64
 
 	iterations int
 	done       bool
@@ -165,6 +166,13 @@ func NewSearch(cfg SearchConfig) *Search {
 
 // Iterations returns the number of measurement intervals completed.
 func (s *Search) Iterations() int { return s.iterations }
+
+// Anomalies returns the number of implausible PMU readings the search
+// observed and discarded (global miss count moving backwards, a region
+// counter exceeding the interval's total, or a saturated counter). A
+// nonzero value means the hardware misbehaved and the estimates are
+// degraded rather than exact.
+func (s *Search) Anomalies() uint64 { return s.anomalies }
 
 // Interval returns the current iteration length in cycles.
 func (s *Search) Interval() uint64 { return s.interval }
@@ -308,6 +316,15 @@ func (s *Search) iterate(m *machine.Machine) {
 	m.Compute(9000) // fixed bookkeeping: signal decode, region tables, interval stats
 
 	global := m.PMU.GlobalMisses
+	if global < s.lastGlobal {
+		// The global miss count moved backwards — impossible on sane
+		// hardware, so treat the whole interval as unusable rather than
+		// computing a wrapped-around delta: resynchronize and re-measure.
+		s.anomalies++
+		s.lastGlobal = global
+		s.rearm(m)
+		return
+	}
 	delta := global - s.lastGlobal
 	s.lastGlobal = global
 
@@ -335,6 +352,17 @@ func (s *Search) iterate(m *machine.Machine) {
 		counts[i] = m.PMU.ReadCounter(i)
 		s.counterArr.Load(m, uint64(i))
 		m.Compute(120)
+		// Sanity-clamp implausible readings: a region cannot see more
+		// misses than the interval's total, and an all-ones value is a
+		// saturated/stuck counter, not a measurement. Clamping degrades
+		// the estimate instead of corrupting every downstream percentage.
+		if counts[i] == ^uint64(0) {
+			s.anomalies++
+			counts[i] = 0
+		} else if counts[i] > delta {
+			s.anomalies++
+			counts[i] = delta
+		}
 	}
 	s.snapshot(counts, delta)
 
@@ -664,6 +692,13 @@ func (s *Search) finalizeStep(m *machine.Machine, delta uint64) {
 	for i, r := range s.measuring {
 		cnt := m.PMU.ReadCounter(i)
 		s.counterArr.Load(m, uint64(i))
+		if cnt == ^uint64(0) {
+			s.anomalies++
+			cnt = 0
+		} else if cnt > delta {
+			s.anomalies++
+			cnt = delta
+		}
 		if delta > 0 {
 			r.record(100 * float64(cnt) / float64(delta))
 		}

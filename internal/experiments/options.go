@@ -13,6 +13,9 @@
 package experiments
 
 import (
+	"context"
+
+	"membottle"
 	"membottle/internal/core"
 )
 
@@ -52,6 +55,25 @@ type Options struct {
 	// way (the determinism tests enforce it); scalar mode is the oracle
 	// baseline and what cmd/mbbench measures speedups against.
 	Scalar bool
+	// Ctx, when non-nil, supervises every simulation run: cancelling it
+	// stops in-flight runs cleanly at workload step boundaries, and the
+	// affected cells report a typed ErrCancelled.
+	Ctx context.Context
+	// Sanitize enables the invariant sanitizer on every run (see
+	// membottle.Config.Sanitize). Violations fail the affected cell with
+	// an InvariantError.
+	Sanitize bool
+	// Faults, when non-nil and enabled, installs the deterministic fault
+	// injector on every run it applies to (see membottle.Config.Faults).
+	Faults *membottle.FaultConfig
+	// Retries bounds how many times a cell whose failure is attributed
+	// to injected faults is re-run (with a deterministically re-salted
+	// fault seed). 0 means no retries.
+	Retries int
+
+	// attempt is the current retry attempt for the cell being run; set
+	// by forEachApp, it re-salts the fault injector's seed.
+	attempt int
 }
 
 var defaultBudgets = map[string]uint64{

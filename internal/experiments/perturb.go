@@ -39,19 +39,20 @@ type PerturbRow struct {
 // and with the n-way search, all for the same number of application
 // instructions, then compare total cache misses (Figure 3) and virtual
 // cycles (Figure 4).
+// Failed applications are reported through the joined error while the
+// surviving applications' rows are still returned.
 func Perturbation(opt Options) ([]PerturbRow, error) {
 	opt = opt.withDefaults()
-	perApp, err := forEachApp(opt, opt.Apps, func(app string) ([]PerturbRow, error) {
-		return PerturbationApp(app, opt)
+	perApp, err := forEachApp(opt, "perturbation", opt.Apps, func(app string, attempt int) ([]PerturbRow, error) {
+		o := opt
+		o.attempt = attempt
+		return PerturbationApp(app, o)
 	})
-	if err != nil {
-		return nil, err
-	}
 	var out []PerturbRow
 	for _, rows := range perApp {
 		out = append(out, rows...)
 	}
-	return out, nil
+	return out, err
 }
 
 // PerturbationApp runs the Figure 3/4 sweep for one application.

@@ -1,19 +1,41 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"membottle"
 	"membottle/internal/core"
 	"membottle/internal/truth"
 )
 
-// newSystem builds a simulated system honouring the run options (today:
-// the scalar-vs-batched engine selection).
+// newSystem builds a simulated system honouring the run options: the
+// scalar-vs-batched engine selection, the invariant sanitizer, and
+// fault injection (re-salted by the current retry attempt).
 func newSystem(opt Options) *membottle.System {
 	cfg := membottle.DefaultConfig()
 	cfg.ScalarRefs = opt.Scalar
+	cfg.Sanitize = opt.Sanitize
+	if opt.Faults != nil {
+		fc := opt.Faults.WithSeed(opt.attempt)
+		cfg.Faults = &fc
+	}
 	return membottle.NewSystem(cfg)
+}
+
+// superviseRun executes the loaded workload under the run options'
+// context and attributes any failure to injected faults when the
+// system's injector actually fired, making it retryable.
+func superviseRun(opt Options, sys *membottle.System, app string, budget uint64) error {
+	err := sys.RunContext(opt.Ctx, budget)
+	if err == nil {
+		return nil
+	}
+	if st := sys.FaultStats(); st != nil && st.Total() > 0 && !errors.Is(err, membottle.ErrCancelled) {
+		return &membottle.InjectedError{App: app, Reason: err, Stats: *st}
+	}
+	return err
 }
 
 // runPlain executes a workload uninstrumented and returns ground truth
@@ -23,7 +45,9 @@ func runPlain(opt Options, app string, budget uint64) (*truth.Counter, membottle
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return nil, membottle.Overhead{}, err
 	}
-	sys.Run(budget)
+	if err := superviseRun(opt, sys, app, budget); err != nil {
+		return nil, membottle.Overhead{}, err
+	}
 	return sys.Truth, sys.Overhead(), nil
 }
 
@@ -37,7 +61,9 @@ func runSampler(opt Options, app string, budget uint64, cfg core.SamplerConfig) 
 	if err := sys.Attach(s); err != nil {
 		return nil, nil, err
 	}
-	sys.Run(budget)
+	if err := superviseRun(opt, sys, app, budget); err != nil {
+		return nil, nil, err
+	}
 	return s, sys, nil
 }
 
@@ -51,7 +77,9 @@ func runSearch(opt Options, app string, budget uint64, cfg core.SearchConfig) (*
 	if err := sys.Attach(s); err != nil {
 		return nil, nil, err
 	}
-	sys.Run(budget)
+	if err := superviseRun(opt, sys, app, budget); err != nil {
+		return nil, nil, err
+	}
 	return s, sys, nil
 }
 
@@ -76,12 +104,64 @@ func estRank(es []core.Estimate, name string) int {
 	return 0
 }
 
-// checkApp validates an app name early, for friendlier CLI errors.
+// checkApp validates an app name early, for friendlier CLI errors: the
+// known names are listed sorted, and a near-miss (one or two edits away,
+// as from a typo) earns a "did you mean" suggestion.
 func checkApp(app string) error {
-	for _, n := range membottle.Workloads() {
+	names := membottle.Workloads()
+	for _, n := range names {
 		if n == app {
 			return nil
 		}
 	}
-	return fmt.Errorf("experiments: unknown application %q (have %v)", app, membottle.Workloads())
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+	if near := nearestName(app, sorted); near != "" {
+		return fmt.Errorf("experiments: unknown application %q (did you mean %q? have %v)", app, near, sorted)
+	}
+	return fmt.Errorf("experiments: unknown application %q (have %v)", app, sorted)
+}
+
+// nearestName returns the candidate within Levenshtein distance 2 of
+// name (ties broken by sorted order), or "" when nothing is close.
+func nearestName(name string, candidates []string) string {
+	best, bestDist := "", 3
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
 }

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"membottle/internal/faults"
+)
+
+func TestForEachAppPanicIsolation(t *testing.T) {
+	apps := []string{"alpha", "beta", "gamma"}
+	out, err := forEachApp(Options{}.withDefaults(), "teststage", apps,
+		func(app string, attempt int) (string, error) {
+			if app == "beta" {
+				panic("poisoned workload")
+			}
+			return "ok:" + app, nil
+		})
+	if err == nil {
+		t.Fatal("panicking cell produced no error")
+	}
+	if out[0] != "ok:alpha" || out[2] != "ok:gamma" {
+		t.Errorf("healthy cells lost their results: %v", out)
+	}
+	if out[1] != "" {
+		t.Errorf("poisoned cell returned a result: %q", out[1])
+	}
+	cells := CellErrors(err)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cell errors, want 1: %v", len(cells), err)
+	}
+	ce := cells[0]
+	if ce.App != "beta" || ce.Stage != "teststage" {
+		t.Errorf("cell error misattributed: %+v", ce)
+	}
+	if ce.Stack == nil {
+		t.Error("recovered panic carries no stack")
+	}
+	if !strings.Contains(ce.Error(), "panicked") {
+		t.Errorf("cell error does not announce the panic: %v", ce)
+	}
+}
+
+func TestForEachAppAggregatesAllErrors(t *testing.T) {
+	apps := []string{"a", "b", "c"}
+	_, err := forEachApp(Options{}.withDefaults(), "teststage", apps,
+		func(app string, attempt int) (int, error) {
+			if app == "b" {
+				return 0, nil
+			}
+			return 0, errors.New("fail " + app)
+		})
+	cells := CellErrors(err)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cell errors, want both failures (not first-error-wins): %v", len(cells), err)
+	}
+	if cells[0].App != "a" || cells[1].App != "c" {
+		t.Errorf("errors out of application order: %v, %v", cells[0], cells[1])
+	}
+}
+
+func TestForEachAppRetriesInjectedFaults(t *testing.T) {
+	var calls atomic.Int32
+	out, err := forEachApp(Options{Retries: 3}.withDefaults(), "teststage", []string{"x"},
+		func(app string, attempt int) (int, error) {
+			calls.Add(1)
+			if attempt < 2 {
+				return 0, &faults.InjectedError{App: app, Reason: errors.New("flaky")}
+			}
+			return attempt, nil
+		})
+	if err != nil {
+		t.Fatalf("retryable failure not retried to success: %v", err)
+	}
+	if out[0] != 2 || calls.Load() != 3 {
+		t.Errorf("expected success on attempt 2 after 3 calls; got result %d, %d calls", out[0], calls.Load())
+	}
+}
+
+func TestForEachAppRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	_, err := forEachApp(Options{Retries: 2}.withDefaults(), "teststage", []string{"x"},
+		func(app string, attempt int) (int, error) {
+			calls.Add(1)
+			return 0, &faults.InjectedError{App: app, Reason: errors.New("always")}
+		})
+	cells := CellErrors(err)
+	if len(cells) != 1 || cells[0].Attempts != 3 {
+		t.Fatalf("want one cell error after 3 attempts, got %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("fn called %d times, want 3 (1 + 2 retries)", calls.Load())
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Errorf("aggregated error lost the injected-fault sentinel: %v", err)
+	}
+}
+
+func TestForEachAppDoesNotRetryOrdinaryErrors(t *testing.T) {
+	var calls atomic.Int32
+	_, err := forEachApp(Options{Retries: 5}.withDefaults(), "teststage", []string{"x"},
+		func(app string, attempt int) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("deterministic failure")
+		})
+	if err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("non-retryable error retried %d times", calls.Load()-1)
+	}
+}
+
+func TestCheckAppSuggestsNearMiss(t *testing.T) {
+	err := checkApp("tomcat")
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if !strings.Contains(err.Error(), `did you mean "tomcatv"`) {
+		t.Errorf("no near-miss suggestion: %v", err)
+	}
+	if err := checkApp("zzzz"); err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("distant name still got a suggestion: %v", err)
+	}
+	if err := checkApp("tomcatv"); err != nil {
+		t.Errorf("valid app rejected: %v", err)
+	}
+}
+
+// TestTable1RendersFailedCellAsGap drives the real Table 1 sweep with one
+// healthy application and one bogus one: the healthy cell must produce
+// its row, the failed cell renders as an annotated gap, and the joined
+// error names it.
+func TestTable1RendersFailedCellAsGap(t *testing.T) {
+	rs, err := Table1(Options{
+		Apps:   []string{"figure2", "nosuchapp"},
+		Budget: 2_000_000,
+	})
+	if err == nil {
+		t.Fatal("bogus application produced no error")
+	}
+	cells := CellErrors(err)
+	if len(cells) != 1 || cells[0].App != "nosuchapp" {
+		t.Fatalf("cell errors: %v", err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rs))
+	}
+	if rs[0].Err != nil || rs[0].App != "figure2" {
+		t.Errorf("healthy cell poisoned: %+v", rs[0])
+	}
+	if rs[1].Err == nil || rs[1].App != "nosuchapp" {
+		t.Errorf("failed cell not stubbed: %+v", rs[1])
+	}
+	tbl := RenderTable1(rs)
+	var gap []string
+	for _, row := range tbl.Rows {
+		if row[0] == "nosuchapp" {
+			gap = row
+		}
+	}
+	if gap == nil {
+		t.Fatalf("no gap row rendered for the failed cell: %v", tbl.Rows)
+	}
+	if !strings.Contains(gap[1], "unknown application") {
+		t.Errorf("gap row does not carry the failure note: %q", gap[1])
+	}
+}

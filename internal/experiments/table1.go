@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"sort"
 
 	"membottle"
@@ -25,6 +26,12 @@ type Table1Row struct {
 type AppResult struct {
 	App  string
 	Rows []Table1Row
+
+	// Err, when non-nil, records that this application's runs failed
+	// (panic, cancellation, sanitizer violation, or unrecovered injected
+	// faults); Rows is empty and the rendered table shows an annotated
+	// gap instead of silently omitting the block.
+	Err error
 
 	// Diagnostics.
 	SampleCount      uint64
@@ -87,11 +94,33 @@ func Table1App(app string, opt Options) (AppResult, error) {
 
 // Table1 runs Table1App over all requested applications, in parallel
 // (see Options.Parallel); results keep the paper's application order.
+// Failed applications yield an AppResult with Err set (rendered as an
+// annotated gap) and contribute to the returned joined error; healthy
+// applications are unaffected.
 func Table1(opt Options) ([]AppResult, error) {
 	opt = opt.withDefaults()
-	return forEachApp(opt, opt.Apps, func(app string) (AppResult, error) {
-		return Table1App(app, opt)
+	results, err := forEachApp(opt, "table1", opt.Apps, func(app string, attempt int) (AppResult, error) {
+		o := opt
+		o.attempt = attempt
+		return Table1App(app, o)
 	})
+	fillFailedCells(results, opt.Apps, err, func(app string, cellErr error) AppResult {
+		return AppResult{App: app, Err: cellErr}
+	})
+	return results, err
+}
+
+// fillFailedCells replaces the zero-valued result of every failed cell
+// with a stub built from its CellError, so renderers can show annotated
+// gaps in the application's table position.
+func fillFailedCells[T any](results []T, apps []string, err error, stub func(app string, cellErr error) T) {
+	for _, ce := range CellErrors(err) {
+		for i, app := range apps {
+			if app == ce.App {
+				results[i] = stub(app, ce)
+			}
+		}
+	}
 }
 
 // buildRows merges ground truth with up to two techniques' estimates,
@@ -136,6 +165,20 @@ func buildRows(actual *truth.Counter, a, b []core.Estimate, maxRows int) []Table
 	return rows
 }
 
+// failedCellNote is the annotation rendered in place of a failed
+// application's rows: the underlying cause, truncated to table width.
+func failedCellNote(err error) string {
+	msg := err.Error()
+	var ce *CellError
+	if errors.As(err, &ce) {
+		msg = ce.Err.Error()
+	}
+	if len(msg) > 64 {
+		msg = msg[:61] + "..."
+	}
+	return "(failed: " + msg + ")"
+}
+
 // RenderTable1 renders results in the paper's Table 1 layout.
 func RenderTable1(results []AppResult) *report.Table {
 	t := &report.Table{
@@ -143,6 +186,10 @@ func RenderTable1(results []AppResult) *report.Table {
 		Headers: []string{"Application", "Variable/Memory Block", "Actual Rank", "Actual %", "Sample Rank", "Sample %", "Search Rank", "Search %"},
 	}
 	for _, r := range results {
+		if r.Err != nil {
+			t.AddRow(r.App, failedCellNote(r.Err), "", "", "", "", "", "")
+			continue
+		}
 		for i, row := range r.Rows {
 			app := ""
 			if i == 0 {

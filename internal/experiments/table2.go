@@ -22,8 +22,11 @@ type Table2Row struct {
 
 // Table2App compares a two-way and a ten-way search on one application.
 type Table2AppResult struct {
-	App              string
-	Rows             []Table2Row
+	App  string
+	Rows []Table2Row
+	// Err, when non-nil, marks the whole application block as failed;
+	// the rendered table shows an annotated gap.
+	Err              error
 	TwoWayIterations int
 	TenWayIterations int
 	TwoWayDone       bool
@@ -72,9 +75,15 @@ func Table2App(app string, opt Options) (Table2AppResult, error) {
 // results keep the paper's application order.
 func Table2(opt Options) ([]Table2AppResult, error) {
 	opt = opt.withDefaults()
-	return forEachApp(opt, opt.Apps, func(app string) (Table2AppResult, error) {
-		return Table2App(app, opt)
+	results, err := forEachApp(opt, "table2", opt.Apps, func(app string, attempt int) (Table2AppResult, error) {
+		o := opt
+		o.attempt = attempt
+		return Table2App(app, o)
 	})
+	fillFailedCells(results, opt.Apps, err, func(app string, cellErr error) Table2AppResult {
+		return Table2AppResult{App: app, Err: cellErr}
+	})
+	return results, err
 }
 
 func topActual(c *truth.Counter) string {
@@ -129,6 +138,10 @@ func RenderTable2(results []Table2AppResult) *report.Table {
 		Headers: []string{"Application", "Variable/Memory Block", "Actual Rank", "Actual %", "2-Way Rank", "2-Way %", "10-Way Rank", "10-Way %"},
 	}
 	for _, r := range results {
+		if r.Err != nil {
+			t.AddRow(r.App, failedCellNote(r.Err), "", "", "", "", "", "")
+			continue
+		}
 		for i, row := range r.Rows {
 			app := ""
 			if i == 0 {

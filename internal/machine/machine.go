@@ -9,6 +9,10 @@
 package machine
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
 	"membottle/internal/cache"
 	"membottle/internal/mem"
 	"membottle/internal/pmu"
@@ -92,6 +96,23 @@ type Machine struct {
 	// recorder needs per-reference instruction counts), so recording runs
 	// at scalar speed.
 	OnRef func(a mem.Addr, write bool)
+	// OnAccess, if set, observes every reference — application and
+	// instrumentation-handler alike — with its hit/miss outcome, at zero
+	// simulated cost. The invariant sanitizer uses it to feed a shadow
+	// cache model. Like OnRef, setting it disables the batched fast path;
+	// when nil the hot path is untouched.
+	OnAccess func(a mem.Addr, write, miss, inHandler bool)
+	// Invariants, if set, is called at every interrupt boundary (after
+	// each delivered handler returns). A non-nil result stops the run:
+	// RunContext returns the error, plain Run panics with it.
+	Invariants func(*Machine) error
+
+	// StopCycles, if non-zero, makes RunContext stop cleanly at the first
+	// workload Step boundary where Cycles >= StopCycles, returning a
+	// CancelledError with Clean set. Because Step overshoot is
+	// deterministic, stopping at a cycle deadline is reproducible —
+	// the basis of the checkpoint/resume byte-identity tests.
+	StopCycles uint64
 
 	// Scalar disables the batched reference fast path, forcing every
 	// AccessBatch / LoadRange / StoreRange call through the per-reference
@@ -102,6 +123,13 @@ type Machine struct {
 
 	inHandler bool
 	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
+
+	// Supervision state: runCtx is non-nil only inside RunContext;
+	// stopErr, once set, freezes the machine (references and compute
+	// become no-ops) until the run loop observes it.
+	runCtx  context.Context
+	stopErr error
+	pollIn  int // references until the next context poll
 }
 
 // New assembles a machine from its parts.
@@ -120,6 +148,9 @@ func (m *Machine) Load(a mem.Addr) { m.access(a, false) }
 func (m *Machine) Store(a mem.Addr) { m.access(a, true) }
 
 func (m *Machine) access(a mem.Addr, write bool) {
+	if m.stopErr != nil {
+		return
+	}
 	m.Insts++
 	if !m.inHandler {
 		m.AppInsts++
@@ -128,21 +159,33 @@ func (m *Machine) access(a mem.Addr, write bool) {
 		}
 	}
 	m.Cycles += m.Cost.HitCycles
-	if m.Cache.Access(a, write) {
+	miss := m.Cache.Access(a, write)
+	if miss {
 		m.Cycles += m.Cost.MissCycles
 		if m.OnMiss != nil {
 			m.OnMiss(a, write, m.inHandler)
 		}
 		m.PMU.RecordMiss(a)
 	}
+	if m.OnAccess != nil {
+		m.OnAccess(a, write, miss, m.inHandler)
+	}
 	m.PMU.TickCycles(m.Cycles)
 	if !m.inHandler && m.PMU.HasPending() {
 		m.deliver()
+	}
+	if m.runCtx != nil {
+		if m.pollIn--; m.pollIn <= 0 {
+			m.pollCtx()
+		}
 	}
 }
 
 // Compute simulates n non-memory instructions.
 func (m *Machine) Compute(n uint64) {
+	if m.stopErr != nil {
+		return
+	}
 	m.Insts += n
 	if !m.inHandler {
 		m.AppInsts += n
@@ -181,6 +224,18 @@ func (m *Machine) deliver() {
 		}
 		m.inHandler = false
 		m.HandlerCycles += m.Cycles - start
+		if m.Invariants != nil {
+			if err := m.Invariants(m); err != nil {
+				m.stop(err)
+				return
+			}
+		}
+		if m.runCtx != nil {
+			m.pollCtx()
+		}
+		if m.stopErr != nil {
+			return
+		}
 	}
 }
 
@@ -224,9 +279,113 @@ func (m *Machine) PopFrame() error {
 // The overshoot past the budget is bounded by one Step and is identical
 // across instrumented and uninstrumented runs of the same workload, since
 // handlers never change the application's instruction stream.
+//
+// Run has no error return; if an Invariants hook fails, Run panics with
+// the error. Supervised callers use RunContext instead.
 func (m *Machine) Run(w Workload, appInstBudget uint64) {
 	for m.AppInsts < appInstBudget {
 		w.Step(m)
+		if m.stopErr != nil {
+			err := m.stopErr
+			m.stopErr = nil
+			panic(err)
+		}
+	}
+}
+
+// --- supervised execution ------------------------------------------------
+
+// ErrCancelled is the sentinel matched (via errors.Is) by every
+// CancelledError.
+var ErrCancelled = errors.New("machine: run cancelled")
+
+// CancelledError reports a run stopped before its budget, carrying the
+// progress made so that partial results stay reportable.
+type CancelledError struct {
+	// Cycles and AppInsts are the machine's counters at the stop point.
+	Cycles   uint64
+	AppInsts uint64
+	// Clean is true when the stop landed on a workload Step boundary,
+	// where machine and workload state are mutually consistent — the only
+	// points at which a checkpoint can be taken.
+	Clean bool
+	// Cause is the context error for context cancellations, nil for
+	// StopCycles deadline stops.
+	Cause error
+}
+
+func (e *CancelledError) Error() string {
+	how := "mid-step"
+	if e.Clean {
+		how = "at step boundary"
+	}
+	return fmt.Sprintf("machine: run cancelled %s after %d cycles (%d app instructions): %v",
+		how, e.Cycles, e.AppInsts, e.Cause)
+}
+
+// Unwrap exposes the context error, if any.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCancelled sentinel.
+func (e *CancelledError) Is(target error) bool { return target == ErrCancelled }
+
+// ctxPollEvery is how many references may pass between context polls.
+// Cancellation latency is bounded by this many simulated references plus
+// one workload Step; polling never touches simulation state, so it cannot
+// perturb determinism.
+const ctxPollEvery = 256
+
+// RunContext is Run under supervision: the context is polled at workload
+// Step boundaries, every ctxPollEvery references, and after every
+// delivered interrupt. On cancellation it returns a *CancelledError
+// (matching ErrCancelled) recording the progress made; mid-step
+// cancellations freeze the machine and drain the rest of the Step at zero
+// cost, so counters reflect the stop point exactly. If StopCycles is set,
+// the run instead stops cleanly at the first Step boundary at or past
+// that cycle count. Invariants failures surface as the hook's error.
+func (m *Machine) RunContext(ctx context.Context, w Workload, appInstBudget uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.runCtx = ctx
+	m.pollIn = ctxPollEvery
+	defer func() { m.runCtx = nil }()
+	for m.AppInsts < appInstBudget {
+		if err := context.Cause(ctx); err != nil {
+			return &CancelledError{Cycles: m.Cycles, AppInsts: m.AppInsts, Clean: true, Cause: err}
+		}
+		if m.StopCycles != 0 && m.Cycles >= m.StopCycles {
+			return &CancelledError{Cycles: m.Cycles, AppInsts: m.AppInsts, Clean: true}
+		}
+		w.Step(m)
+		if m.stopErr != nil {
+			err := m.stopErr
+			m.stopErr = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// stop freezes the machine on its first failure; later failures are
+// discarded (the first one is the root cause).
+func (m *Machine) stop(err error) {
+	if m.stopErr == nil {
+		m.stopErr = err
+	}
+}
+
+// pollCtx performs a non-blocking context check and resets the poll
+// countdown.
+func (m *Machine) pollCtx() {
+	m.pollIn = ctxPollEvery
+	if m.stopErr != nil {
+		return
+	}
+	select {
+	case <-m.runCtx.Done():
+		m.stop(&CancelledError{Cycles: m.Cycles, AppInsts: m.AppInsts, Cause: context.Cause(m.runCtx)})
+	default:
 	}
 }
 
@@ -250,11 +409,21 @@ const batchChunk = 1024
 // deadlines, timeshare rotations), so interrupt delivery points, cycle
 // counts, and cache state stay bit-identical to scalar execution.
 func (m *Machine) AccessBatch(refs []Ref) {
-	if m.Scalar || m.OnRef != nil {
+	if m.Scalar || m.OnRef != nil || m.OnAccess != nil {
 		m.scalarRefs(refs)
 		return
 	}
 	for len(refs) > 0 {
+		if m.stopErr != nil {
+			return
+		}
+		if m.runCtx != nil {
+			// The fast path bypasses access(), so amortize the context
+			// poll over the references consumed per iteration instead.
+			if m.pollIn <= 0 {
+				m.pollCtx()
+			}
+		}
 		n := len(refs)
 		tickAfter := false
 		if ev, armed := m.PMU.NextCycleEvent(); armed {
@@ -276,6 +445,9 @@ func (m *Machine) AccessBatch(refs []Ref) {
 				m.AppInsts += insts
 			}
 			m.Cycles += uint64(done)*m.Cost.HitCycles + compute*m.Cost.ComputeCPI
+			if m.runCtx != nil {
+				m.pollIn -= done
+			}
 		}
 		if missed {
 			// refs[done-1] missed; the cache already filled the line, so
@@ -374,7 +546,7 @@ func (m *Machine) StoreRange(base mem.Addr, bytes, stride, computePer uint64) {
 }
 
 func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, write bool) {
-	if m.Scalar || m.OnRef != nil {
+	if m.Scalar || m.OnRef != nil || m.OnAccess != nil {
 		for off := uint64(0); off < bytes; off += stride {
 			m.access(base+mem.Addr(off), write)
 			if computePer > 0 {
@@ -395,4 +567,50 @@ func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, wri
 		m.AccessBatch(buf)
 	}
 	m.batch = buf[:0]
+}
+
+// --- checkpoint state ----------------------------------------------------
+
+// State is the machine's own serializable snapshot (its counters; the
+// cache, PMU, and address-space components snapshot themselves).
+type State struct {
+	Cycles        uint64
+	Insts         uint64
+	AppInsts      uint64
+	HandlerCycles uint64
+	Interrupts    uint64
+}
+
+// State captures the machine's counters. It is only meaningful at a
+// workload Step boundary outside any handler (Run/RunContext guarantee
+// this between Steps).
+func (m *Machine) State() State {
+	return State{
+		Cycles:        m.Cycles,
+		Insts:         m.Insts,
+		AppInsts:      m.AppInsts,
+		HandlerCycles: m.HandlerCycles,
+		Interrupts:    m.Interrupts,
+	}
+}
+
+// SetState restores counters captured by State.
+func (m *Machine) SetState(s State) {
+	m.Cycles = s.Cycles
+	m.Insts = s.Insts
+	m.AppInsts = s.AppInsts
+	m.HandlerCycles = s.HandlerCycles
+	m.Interrupts = s.Interrupts
+}
+
+// Checkpointer is implemented by workloads and profilers whose private
+// state (sweep cursors, sample tables, generator positions) must survive
+// a checkpoint/resume round trip. Implementations must encode
+// deterministically: the same state always yields the same bytes.
+type Checkpointer interface {
+	// CheckpointState serializes the implementation's private state.
+	CheckpointState() ([]byte, error)
+	// RestoreState restores state serialized by CheckpointState on a
+	// freshly constructed (Setup-complete) instance.
+	RestoreState(data []byte) error
 }

@@ -213,6 +213,12 @@ func (s *Space) AllocShadow(size uint64) (Addr, error) {
 	return base, nil
 }
 
+// ShadowExtent returns the used portion of the shadow segment.
+func (s *Space) ShadowExtent() (lo, hi Addr) { return ShadowBase, s.nextShadow }
+
+// LiveHeapBlocks returns the number of outstanding heap allocations.
+func (s *Space) LiveHeapBlocks() int { return s.heap.liveBlocks() }
+
 // Extent returns the full span of addresses an n-way search should cover:
 // from the start of the data segment through the end of the heap's high
 // water mark (stack variables are future work in the paper, and the shadow

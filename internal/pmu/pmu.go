@@ -11,7 +11,11 @@
 // cache miss and TickCycles on every advance of the virtual cycle counter.
 package pmu
 
-import "membottle/internal/mem"
+import (
+	"fmt"
+
+	"membottle/internal/mem"
+)
 
 // IrqKind identifies the source of a pending interrupt.
 type IrqKind int
@@ -38,6 +42,25 @@ func (k IrqKind) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// FaultHook lets a deterministic fault injector perturb the PMU at the
+// exact points where real monitoring hardware fails: interrupt raise and
+// counter update. All three methods are consulted at identical points by
+// the scalar and batched engines, so fault-injected runs remain
+// bit-identical across engines for a given seed.
+type FaultHook interface {
+	// MissOverflow is consulted when a miss-overflow interrupt is about
+	// to be raised. drop discards the interrupt (the countdown re-arms);
+	// a nonzero delay postpones it by that many further misses.
+	MissOverflow() (drop bool, delay uint64)
+	// Timer is consulted when the cycle timer reaches its deadline. drop
+	// disarms the timer without firing; a nonzero delayCycles pushes the
+	// deadline that far into the future.
+	Timer() (drop bool, delayCycles uint64)
+	// CorruptCounters runs after every recorded miss and may mutate the
+	// region counters in place (zero or saturate a count).
+	CorruptCounters(cs []Counter)
 }
 
 // Counter is one region cache-miss counter with base/bounds registers.
@@ -80,6 +103,11 @@ type PMU struct {
 	// Interrupt delivery statistics.
 	MissIrqs  uint64
 	TimerIrqs uint64
+
+	// Faults, if set, is consulted at interrupt raise points and after
+	// every counter update. Nil (the default) costs one predictable
+	// branch per miss and none on the cycle path.
+	Faults FaultHook
 
 	mux *timeshareMux // nil unless timesharing is enabled
 }
@@ -162,11 +190,22 @@ func (p *PMU) RecordMiss(a mem.Addr) {
 			}
 		}
 	}
+	if p.Faults != nil {
+		p.Faults.CorruptCounters(p.counters)
+	}
 	if p.missThreshold != 0 {
 		p.missesToGo--
 		if p.missesToGo == 0 {
-			p.pendingMiss = true
 			p.missesToGo = p.missThreshold
+			if p.Faults != nil {
+				if drop, delay := p.Faults.MissOverflow(); drop {
+					return
+				} else if delay > 0 {
+					p.missesToGo = delay
+					return
+				}
+			}
+			p.pendingMiss = true
 		}
 	}
 }
@@ -176,12 +215,28 @@ func (p *PMU) RecordMiss(a mem.Addr) {
 // multiplexing when timesharing is enabled.
 func (p *PMU) TickCycles(cycles uint64) {
 	if p.timerArmed && cycles >= p.timerDeadline {
-		p.pendingTimer = true
-		p.timerArmed = false
+		p.timerFire(cycles)
 	}
 	if p.mux != nil {
 		p.mux.tick(cycles)
 	}
+}
+
+// timerFire resolves a reached timer deadline: normally it marks the
+// interrupt pending and disarms; a fault hook may instead drop it (disarm
+// without firing) or slip the deadline forward.
+func (p *PMU) timerFire(cycles uint64) {
+	if p.Faults != nil {
+		if drop, delay := p.Faults.Timer(); drop {
+			p.timerArmed = false
+			return
+		} else if delay > 0 {
+			p.timerDeadline = cycles + delay
+			return
+		}
+	}
+	p.pendingTimer = true
+	p.timerArmed = false
 }
 
 // NextCycleEvent returns the earliest future cycle count at which
@@ -311,4 +366,103 @@ func (m *timeshareMux) read(i int) uint64 {
 		return m.pmu.counters[i].Count * uint64(len(m.pmu.counters)) / uint64(m.phys)
 	}
 	return uint64(float64(m.pmu.counters[i].Count) * float64(m.totalTime) / float64(m.onTime[i]))
+}
+
+// --- checkpoint state ----------------------------------------------------
+
+// MuxState is the serializable timeshare-multiplexer state.
+type MuxState struct {
+	Phys       int
+	Quantum    uint64
+	First      int
+	Active     []bool
+	OnTime     []uint64
+	LastRotate uint64
+	RotateAt   uint64
+	TotalTime  uint64
+}
+
+// State is a full snapshot of the PMU, sufficient to resume a run
+// byte-identically. Checkpoint encoding lives in internal/checkpoint; the
+// PMU only exposes its state as plain data.
+type State struct {
+	Counters      []Counter
+	GlobalMisses  uint64
+	LastMissAddr  mem.Addr
+	MissThreshold uint64
+	MissesToGo    uint64
+	TimerDeadline uint64
+	TimerArmed    bool
+	PendingMiss   bool
+	PendingTimer  bool
+	MissIrqs      uint64
+	TimerIrqs     uint64
+	Mux           *MuxState
+}
+
+// State captures the PMU's current state. The counter slice is a copy.
+func (p *PMU) State() State {
+	s := State{
+		Counters:      append([]Counter(nil), p.counters...),
+		GlobalMisses:  p.GlobalMisses,
+		LastMissAddr:  p.LastMissAddr,
+		MissThreshold: p.missThreshold,
+		MissesToGo:    p.missesToGo,
+		TimerDeadline: p.timerDeadline,
+		TimerArmed:    p.timerArmed,
+		PendingMiss:   p.pendingMiss,
+		PendingTimer:  p.pendingTimer,
+		MissIrqs:      p.MissIrqs,
+		TimerIrqs:     p.TimerIrqs,
+	}
+	if m := p.mux; m != nil {
+		s.Mux = &MuxState{
+			Phys:       m.phys,
+			Quantum:    m.quantum,
+			First:      m.first,
+			Active:     append([]bool(nil), m.active...),
+			OnTime:     append([]uint64(nil), m.onTime...),
+			LastRotate: m.lastRotate,
+			RotateAt:   m.rotateAt,
+			TotalTime:  m.totalTime,
+		}
+	}
+	return s
+}
+
+// SetState restores a snapshot taken by State. The PMU must have been
+// constructed with the same counter count (and timesharing configuration)
+// as the one snapshotted.
+func (p *PMU) SetState(s State) error {
+	if len(s.Counters) != len(p.counters) {
+		return fmt.Errorf("pmu: snapshot has %d counters, PMU has %d", len(s.Counters), len(p.counters))
+	}
+	if (s.Mux != nil) != (p.mux != nil) {
+		return fmt.Errorf("pmu: snapshot timesharing=%v, PMU timesharing=%v", s.Mux != nil, p.mux != nil)
+	}
+	copy(p.counters, s.Counters)
+	p.GlobalMisses = s.GlobalMisses
+	p.LastMissAddr = s.LastMissAddr
+	p.missThreshold = s.MissThreshold
+	p.missesToGo = s.MissesToGo
+	p.timerDeadline = s.TimerDeadline
+	p.timerArmed = s.TimerArmed
+	p.pendingMiss = s.PendingMiss
+	p.pendingTimer = s.PendingTimer
+	p.MissIrqs = s.MissIrqs
+	p.TimerIrqs = s.TimerIrqs
+	if s.Mux != nil {
+		m := p.mux
+		if s.Mux.Phys != m.phys || s.Mux.Quantum != m.quantum ||
+			len(s.Mux.Active) != len(m.active) || len(s.Mux.OnTime) != len(m.onTime) {
+			return fmt.Errorf("pmu: snapshot timesharing geometry mismatch")
+		}
+		m.first = s.Mux.First
+		copy(m.active, s.Mux.Active)
+		copy(m.onTime, s.Mux.OnTime)
+		m.lastRotate = s.Mux.LastRotate
+		m.rotateAt = s.Mux.RotateAt
+		m.totalTime = s.Mux.TotalTime
+	}
+	return nil
 }

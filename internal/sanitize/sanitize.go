@@ -1,0 +1,303 @@
+// Package sanitize is the simulator's invariant sanitizer: a debug mode
+// that cross-checks the optimized simulation state against independent
+// redundant models while a run executes. It maintains a naive shadow
+// cache (the textbook set-associative LRU algorithm, fed one reference at
+// a time through the machine's OnAccess hook) and compares it against the
+// real cache's metadata, and it cross-checks the PMU's counters against
+// the cache statistics and the ground-truth accounting at every interrupt
+// boundary. Divergence raises a typed InvariantError naming the failed
+// check.
+//
+// Enabling the sanitizer installs an OnAccess observer, which forces the
+// machine onto the scalar reference path; the batched fast path is
+// untouched when the sanitizer is off, so the performance of normal runs
+// is unaffected.
+package sanitize
+
+import (
+	"errors"
+	"fmt"
+
+	"membottle/internal/cache"
+	"membottle/internal/machine"
+	"membottle/internal/mem"
+	"membottle/internal/truth"
+)
+
+// ErrInvariant is the sentinel matched (via errors.Is) by every
+// InvariantError.
+var ErrInvariant = errors.New("sanitize: simulation invariant violated")
+
+// InvariantError reports one cross-subsystem consistency violation.
+type InvariantError struct {
+	// Cycle is the virtual cycle count at which the violation was
+	// detected.
+	Cycle uint64
+	// Check names the failed invariant (e.g. "shadow-verdict",
+	// "pmu-global-misses").
+	Check string
+	// Detail describes the divergence.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sanitize: invariant %q violated at cycle %d: %s", e.Check, e.Cycle, e.Detail)
+}
+
+// Is matches the ErrInvariant sentinel.
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }
+
+// sweepEvery is how many boundary checks pass between full metadata
+// sweeps (tag and LRU stamp of every way). Cheap counter cross-checks run
+// at every boundary; the full sweep is amortized.
+const sweepEvery = 64
+
+// Checker holds the sanitizer's redundant models for one machine.
+type Checker struct {
+	m          *machine.Machine
+	tc         *truth.Counter // optional ground-truth cross-check
+	sh         *shadowCache
+	err        error // first per-access divergence, reported at the next boundary
+	boundaries uint64
+	violations uint64
+}
+
+// Attach installs the sanitizer on a machine, chaining any existing
+// OnAccess and Invariants hooks. tc may be nil when no ground-truth
+// counter is attached. Must be called before the run starts (the shadow
+// cache mirrors the real cache's current contents at attach time, which
+// is normally empty).
+func Attach(m *machine.Machine, tc *truth.Counter) *Checker {
+	c := &Checker{m: m, tc: tc, sh: newShadow(m.Cache)}
+	prevAccess := m.OnAccess
+	m.OnAccess = func(a mem.Addr, write, miss, inHandler bool) {
+		if prevAccess != nil {
+			prevAccess(a, write, miss, inHandler)
+		}
+		c.observe(a, write, miss)
+	}
+	prevInv := m.Invariants
+	m.Invariants = func(m *machine.Machine) error {
+		if prevInv != nil {
+			if err := prevInv(m); err != nil {
+				return err
+			}
+		}
+		return c.Boundary()
+	}
+	return c
+}
+
+// Resync rebuilds the shadow model from the real cache's current contents
+// and clears any latched per-access divergence. Call after restoring a
+// checkpoint: the restored cache state becomes the new baseline the
+// shadow model tracks.
+func (c *Checker) Resync() {
+	c.sh = newShadow(c.m.Cache)
+	c.err = nil
+}
+
+// Boundaries returns the number of interrupt-boundary checks performed.
+func (c *Checker) Boundaries() uint64 { return c.boundaries }
+
+// Violations returns the number of invariant violations raised.
+func (c *Checker) Violations() uint64 { return c.violations }
+
+// observe feeds one reference through the shadow model and compares its
+// verdict against the real cache's. OnAccess cannot return an error, so
+// the first divergence is latched and surfaced at the next boundary (or
+// final) check.
+func (c *Checker) observe(a mem.Addr, write, miss bool) {
+	shadowMiss := c.sh.access(a, write)
+	if shadowMiss != miss && c.err == nil {
+		c.err = &InvariantError{
+			Cycle: c.m.Cycles,
+			Check: "shadow-verdict",
+			Detail: fmt.Sprintf("address %#x (write=%v): cache reported miss=%v, shadow model says miss=%v",
+				uint64(a), write, miss, shadowMiss),
+		}
+	}
+}
+
+// Boundary runs the interrupt-boundary invariant suite: any latched
+// per-access divergence, counter cross-checks, and (amortized) the full
+// cache-metadata sweep. The machine calls it through the Invariants hook;
+// callers may also invoke it directly as a final end-of-run check, which
+// always includes the full sweep.
+func (c *Checker) Boundary() error {
+	c.boundaries++
+	full := c.boundaries%sweepEvery == 0
+	return c.check(full)
+}
+
+// Final runs the complete suite including the full metadata sweep; call
+// it once after the run finishes so short runs with no interrupts are
+// still verified.
+func (c *Checker) Final() error { return c.check(true) }
+
+func (c *Checker) check(fullSweep bool) error {
+	if c.err != nil {
+		err := c.err
+		c.err = nil
+		c.violations++
+		return err
+	}
+	m := c.m
+	fail := func(check, format string, args ...any) error {
+		c.violations++
+		return &InvariantError{Cycle: m.Cycles, Check: check, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	// Machine arithmetic.
+	if m.HandlerCycles > m.Cycles {
+		return fail("handler-cycles", "HandlerCycles %d exceeds Cycles %d", m.HandlerCycles, m.Cycles)
+	}
+	if m.AppInsts > m.Insts {
+		return fail("app-insts", "AppInsts %d exceeds Insts %d", m.AppInsts, m.Insts)
+	}
+
+	// Cache statistics are internally consistent and match the shadow
+	// model's independent tally.
+	st := m.Cache.Stats
+	if st.Hits+st.Misses != st.Reads+st.Writes {
+		return fail("cache-stats", "hits %d + misses %d != reads %d + writes %d",
+			st.Hits, st.Misses, st.Reads, st.Writes)
+	}
+	if st != c.sh.stats {
+		return fail("shadow-stats", "cache stats %+v diverge from shadow model stats %+v", st, c.sh.stats)
+	}
+
+	// PMU global miss counter vs. the cache's own count. Injected
+	// interrupt faults never touch GlobalMisses, so this holds even under
+	// fault injection.
+	if g := m.PMU.GlobalMisses; g != st.Misses {
+		return fail("pmu-global-misses", "PMU GlobalMisses %d != cache misses %d", g, st.Misses)
+	}
+
+	// Region counters are plausible only when no fault injector is
+	// corrupting them on purpose: a saturated or zeroed counter is the
+	// profilers' problem to survive, not a simulator bug.
+	if m.PMU.Faults == nil && !m.PMU.TimesharingEnabled() {
+		for i := 0; i < m.PMU.NumCounters(); i++ {
+			if n := m.PMU.ReadCounter(i); n > m.PMU.GlobalMisses {
+				return fail("pmu-region-counter", "region counter %d count %d exceeds GlobalMisses %d",
+					i, n, m.PMU.GlobalMisses)
+			}
+		}
+	}
+
+	// Ground truth accounting: every application miss is either matched
+	// to an object or explicitly unmatched, and never exceeds the total
+	// miss count.
+	if c.tc != nil {
+		var matched uint64
+		for _, r := range c.tc.Ranked() {
+			matched += r.Misses
+		}
+		if matched+c.tc.Unmatched != c.tc.Total {
+			return fail("truth-total", "matched %d + unmatched %d != total %d",
+				matched, c.tc.Unmatched, c.tc.Total)
+		}
+		if c.tc.Total > st.Misses {
+			return fail("truth-vs-cache", "truth total %d exceeds cache misses %d", c.tc.Total, st.Misses)
+		}
+	}
+
+	if fullSweep {
+		if err := c.sweep(); err != nil {
+			c.violations++
+			return err
+		}
+	}
+	return nil
+}
+
+// sweep compares every way's tag and LRU stamp between the real cache and
+// the shadow model.
+func (c *Checker) sweep() error {
+	rs := c.m.Cache.State()
+	if rs.Clock != c.sh.clock {
+		return &InvariantError{Cycle: c.m.Cycles, Check: "shadow-clock",
+			Detail: fmt.Sprintf("cache clock %d != shadow clock %d", rs.Clock, c.sh.clock)}
+	}
+	for i, w := range rs.Ways {
+		sw := c.sh.ways[i]
+		if w.Tag != sw.tag || w.Stamp != sw.stamp {
+			return &InvariantError{Cycle: c.m.Cycles, Check: "shadow-way",
+				Detail: fmt.Sprintf("way %d: cache (tag %#x, stamp %d) != shadow (tag %#x, stamp %d)",
+					i, w.Tag, w.Stamp, sw.tag, sw.stamp)}
+		}
+	}
+	return nil
+}
+
+// --- shadow cache model --------------------------------------------------
+
+// shadowCache is an independent textbook implementation of the same
+// set-associative LRU policy: linear probe of the set, a global clock
+// stamping each touch, invalid ways (stamp 0) preferred as victims with
+// the last-invalid tie-break. It deliberately avoids the real cache's
+// optimized batch path; per-access agreement between the two is the
+// invariant.
+type shadowWay struct {
+	tag   uint64
+	stamp uint64
+}
+
+type shadowCache struct {
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	ways      []shadowWay
+	clock     uint64
+	stats     cache.Stats
+}
+
+func newShadow(c *cache.Cache) *shadowCache {
+	cfg := c.Config()
+	lines := cfg.Size / cfg.LineSize
+	sh := &shadowCache{
+		setMask: uint64(c.Sets() - 1),
+		assoc:   cfg.Assoc,
+		ways:    make([]shadowWay, lines),
+	}
+	for 1<<sh.lineShift < cfg.LineSize {
+		sh.lineShift++
+	}
+	// Mirror whatever the real cache currently holds (normally empty at
+	// attach time, but a restored checkpoint re-attaches mid-run).
+	st := c.State()
+	sh.clock = st.Clock
+	sh.stats = st.Stats
+	for i, w := range st.Ways {
+		sh.ways[i] = shadowWay{tag: w.Tag, stamp: w.Stamp}
+	}
+	return sh
+}
+
+func (sh *shadowCache) access(a mem.Addr, write bool) (miss bool) {
+	if write {
+		sh.stats.Writes++
+	} else {
+		sh.stats.Reads++
+	}
+	line := uint64(a) >> sh.lineShift
+	set := int(line & sh.setMask)
+	base := set * sh.assoc
+	sh.clock++
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+sh.assoc; i++ {
+		w := &sh.ways[i]
+		if w.stamp != 0 && w.tag == line {
+			w.stamp = sh.clock
+			sh.stats.Hits++
+			return false
+		}
+		if w.stamp <= oldest {
+			victim, oldest = i, w.stamp
+		}
+	}
+	sh.stats.Misses++
+	sh.ways[victim] = shadowWay{tag: line, stamp: sh.clock}
+	return true
+}

@@ -30,7 +30,14 @@ var magic = []byte("MBTR1\n")
 var (
 	ErrBadMagic = errors.New("trace: bad magic; not a membottle trace")
 	ErrCorrupt  = errors.New("trace: corrupt record")
+	ErrTooLarge = errors.New("trace: trace exceeds event limit")
 )
+
+// MaxReplayEvents is the default cap on events NewReplay will compile.
+// At 16 bytes per reference the compiled form of a maximal trace is
+// ~4 GiB; traces beyond the cap fail with ErrTooLarge instead of
+// exhausting memory. Use NewReplayLimit to override.
+const MaxReplayEvents = 256 << 20
 
 const (
 	opCompute = 0x00
@@ -222,6 +229,17 @@ type Replay struct {
 	nEvents int
 	pos     int // next reference to issue
 	nextBk  int // next break to issue
+
+	// Faults, if set, may corrupt each Step batch before it is issued
+	// (deterministic fault injection; the compiled trace itself is never
+	// modified, so later wraps replay the pristine stream).
+	Faults BatchFaultHook
+}
+
+// BatchFaultHook lets a fault injector corrupt replayed batches. An
+// implementation returns either the batch unchanged or a corrupted copy.
+type BatchFaultHook interface {
+	CorruptBatch(refs []mem.Ref) []mem.Ref
 }
 
 type computeBreak struct {
@@ -234,8 +252,19 @@ type computeBreak struct {
 // chunk boundary does not depend on hit/miss behaviour.
 const replayChunk = 4096
 
-// NewReplay reads an entire trace from r and compiles it for replay.
+// NewReplay reads an entire trace from r and compiles it for replay,
+// capped at MaxReplayEvents events.
 func NewReplay(name string, r io.Reader) (*Replay, error) {
+	return NewReplayLimit(name, r, MaxReplayEvents)
+}
+
+// NewReplayLimit is NewReplay with an explicit event cap: a trace with
+// more than maxEvents events fails with ErrTooLarge before its compiled
+// form can grow unboundedly. maxEvents <= 0 means MaxReplayEvents.
+func NewReplayLimit(name string, r io.Reader, maxEvents int) (*Replay, error) {
+	if maxEvents <= 0 {
+		maxEvents = MaxReplayEvents
+	}
 	tr, err := NewReader(r)
 	if err != nil {
 		return nil, err
@@ -248,6 +277,9 @@ func NewReplay(name string, r io.Reader) (*Replay, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if rp.nEvents >= maxEvents {
+			return nil, fmt.Errorf("%w: more than %d events", ErrTooLarge, maxEvents)
 		}
 		rp.nEvents++
 		if ev.Compute > 0 {
@@ -308,7 +340,11 @@ func (r *Replay) Step(m *machine.Machine) {
 		if r.nextBk < len(r.breaks) && r.breaks[r.nextBk].ref < end {
 			end = r.breaks[r.nextBk].ref
 		}
-		m.AccessBatch(r.refs[r.pos:end])
+		batch := r.refs[r.pos:end]
+		if r.Faults != nil {
+			batch = r.Faults.CorruptBatch(batch)
+		}
+		m.AccessBatch(batch)
 		issued += end - r.pos
 		r.pos = end
 		if r.pos == len(r.refs) {
@@ -342,4 +378,31 @@ func (r *Replay) ReplayOnce(m *machine.Machine) {
 	for ; bk < len(r.breaks); bk++ {
 		m.Compute(r.breaks[bk].n)
 	}
+}
+
+// CheckpointState implements machine.Checkpointer: a replay's private
+// state is just its stream position.
+func (r *Replay) CheckpointState() ([]byte, error) {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(r.pos))
+	b = binary.AppendUvarint(b, uint64(r.nextBk))
+	return b, nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (r *Replay) RestoreState(data []byte) error {
+	pos, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: replay state", ErrCorrupt)
+	}
+	nextBk, n2 := binary.Uvarint(data[n:])
+	if n2 <= 0 || n+n2 != len(data) {
+		return fmt.Errorf("%w: replay state", ErrCorrupt)
+	}
+	if pos > uint64(len(r.refs)) || nextBk > uint64(len(r.breaks)) {
+		return fmt.Errorf("%w: replay position out of range", ErrCorrupt)
+	}
+	r.pos = int(pos)
+	r.nextBk = int(nextBk)
+	return nil
 }

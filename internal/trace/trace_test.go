@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -182,5 +183,31 @@ func TestCompactEncoding(t *testing.T) {
 	w.Close()
 	if buf.Len() > len(magic)+2100 {
 		t.Fatalf("encoding too large: %d bytes for 1000 sequential refs", buf.Len())
+	}
+}
+
+func TestReplayEventCap(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		w.Ref(mem.Addr(0x1000+64*i), false)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := NewReplayLimit("capped", bytes.NewReader(data), 3); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+	rp, err := NewReplayLimit("fits", bytes.NewReader(data), 8)
+	if err != nil {
+		t.Fatalf("trace at exactly the cap rejected: %v", err)
+	}
+	if rp.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", rp.Len())
 	}
 }

@@ -6,6 +6,7 @@
 package truth
 
 import (
+	"fmt"
 	"sort"
 
 	"membottle/internal/machine"
@@ -149,3 +150,39 @@ func (c *Counter) Series(name string) []uint64 {
 
 // Buckets returns the number of time buckets recorded.
 func (c *Counter) Buckets() int { return len(c.buckets) }
+
+// --- checkpoint state ----------------------------------------------------
+
+// State is the counter's serializable snapshot. Time-series bucket
+// recording (BucketCycles) is not checkpointable; State returns an error
+// when it is enabled rather than silently dropping the series.
+type State struct {
+	Counts    []uint64
+	Total     uint64
+	Unmatched uint64
+}
+
+// State captures the counter's current totals.
+func (c *Counter) State() (State, error) {
+	if c.BucketCycles != 0 {
+		return State{}, fmt.Errorf("truth: time-series bucket recording is not checkpointable")
+	}
+	return State{
+		Counts:    append([]uint64(nil), c.counts...),
+		Total:     c.Total,
+		Unmatched: c.Unmatched,
+	}, nil
+}
+
+// SetState restores a snapshot taken by State. Object IDs are dense and
+// assigned in Setup order, so counts restored into a freshly set-up
+// system line up with the same objects.
+func (c *Counter) SetState(s State) error {
+	if c.BucketCycles != 0 {
+		return fmt.Errorf("truth: time-series bucket recording is not checkpointable")
+	}
+	c.counts = append([]uint64(nil), s.Counts...)
+	c.Total = s.Total
+	c.Unmatched = s.Unmatched
+	return nil
+}

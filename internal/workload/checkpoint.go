@@ -1,0 +1,257 @@
+package workload
+
+// Checkpoint support: every registered workload implements
+// machine.Checkpointer so a supervised run can be snapshotted at a Step
+// boundary and resumed byte-identically. Workload private state is a
+// handful of sweep cursors, phase positions, and PRNG words; it is
+// flattened to a []uint64 and encoded as a uvarint sequence. Transient
+// per-Step batch buffers are always empty at Step boundaries and are not
+// part of the state.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encodeU64s serializes values as a length-prefixed uvarint sequence.
+func encodeU64s(vals []uint64) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(vals)))
+	for _, v := range vals {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+// decodeU64s reverses encodeU64s, validating the declared count against
+// the bytes present before allocating.
+func decodeU64s(data []byte) ([]uint64, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("workload: truncated state count")
+	}
+	data = data[used:]
+	if n > uint64(len(data)) { // each value needs at least one byte
+		return nil, fmt.Errorf("workload: state count %d exceeds available data", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		v, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, fmt.Errorf("workload: truncated state value %d", i)
+		}
+		out[i] = v
+		data = data[used:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("workload: %d trailing state bytes", len(data))
+	}
+	return out, nil
+}
+
+// expect validates a decoded state's length.
+func expect(vals []uint64, n int, who string) error {
+	if len(vals) != n {
+		return fmt.Errorf("workload: %s state has %d values, want %d", who, len(vals), n)
+	}
+	return nil
+}
+
+// --- single-schedule workloads -------------------------------------------
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Tomcatv) CheckpointState() ([]byte, error) { return encodeU64s(w.sched.state()), nil }
+
+// RestoreState implements machine.Checkpointer.
+func (w *Tomcatv) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	return w.sched.setState(vals)
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Swim) CheckpointState() ([]byte, error) { return encodeU64s(w.sched.state()), nil }
+
+// RestoreState implements machine.Checkpointer.
+func (w *Swim) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	return w.sched.setState(vals)
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Mgrid) CheckpointState() ([]byte, error) { return encodeU64s(w.sched.state()), nil }
+
+// RestoreState implements machine.Checkpointer.
+func (w *Mgrid) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	return w.sched.setState(vals)
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Figure2) CheckpointState() ([]byte, error) { return encodeU64s(w.sched.state()), nil }
+
+// RestoreState implements machine.Checkpointer.
+func (w *Figure2) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	return w.sched.setState(vals)
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Art) CheckpointState() ([]byte, error) { return encodeU64s(w.sched.state()), nil }
+
+// RestoreState implements machine.Checkpointer.
+func (w *Art) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	return w.sched.setState(vals)
+}
+
+// --- two-phase workloads -------------------------------------------------
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Applu) CheckpointState() ([]byte, error) {
+	vals := append(w.phaseX.state(), w.phaseY.state()...)
+	vals = append(vals, uint64(w.pos))
+	return encodeU64s(vals), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Applu) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	nx, ny := w.phaseX.stateLen(), w.phaseY.stateLen()
+	if err := expect(vals, nx+ny+1, "applu"); err != nil {
+		return err
+	}
+	if err := w.phaseX.setState(vals[:nx]); err != nil {
+		return err
+	}
+	if err := w.phaseY.setState(vals[nx : nx+ny]); err != nil {
+		return err
+	}
+	if p := vals[nx+ny]; p >= uint64(w.xUnits+w.yUnits) {
+		return fmt.Errorf("workload: applu phase position %d out of range", p)
+	}
+	w.pos = int(vals[nx+ny])
+	return nil
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Su2cor) CheckpointState() ([]byte, error) {
+	vals := append(w.phaseA.state(), w.phaseB.state()...)
+	vals = append(vals, uint64(w.pos))
+	return encodeU64s(vals), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Su2cor) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	na, nb := w.phaseA.stateLen(), w.phaseB.stateLen()
+	if err := expect(vals, na+nb+1, "su2cor"); err != nil {
+		return err
+	}
+	if err := w.phaseA.setState(vals[:na]); err != nil {
+		return err
+	}
+	if err := w.phaseB.setState(vals[na : na+nb]); err != nil {
+		return err
+	}
+	if p := vals[na+nb]; p >= uint64(w.aUnits+w.bUnits) {
+		return fmt.Errorf("workload: su2cor phase position %d out of range", p)
+	}
+	w.pos = int(vals[na+nb])
+	return nil
+}
+
+// --- streaming workloads -------------------------------------------------
+
+// CheckpointState implements machine.Checkpointer. The per-Step batch
+// buffer is always empty between Steps and is not captured.
+func (w *Compress) CheckpointState() ([]byte, error) {
+	return encodeU64s([]uint64{w.inPos, w.outPos, w.dictEntries, w.rng.s}), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Compress) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	if err := expect(vals, 4, "compress"); err != nil {
+		return err
+	}
+	w.inPos, w.outPos, w.dictEntries, w.rng.s = vals[0], vals[1], vals[2], vals[3]
+	return nil
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Ijpeg) CheckpointState() ([]byte, error) {
+	return encodeU64s([]uint64{w.inPos, w.outPos, w.wsPos, uint64(w.linesSinceWorkspaceTouch)}), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Ijpeg) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	if err := expect(vals, 4, "ijpeg"); err != nil {
+		return err
+	}
+	w.inPos, w.outPos, w.wsPos = vals[0], vals[1], vals[2]
+	w.linesSinceWorkspaceTouch = int(vals[3])
+	return nil
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Mcf) CheckpointState() ([]byte, error) {
+	return encodeU64s([]uint64{w.cursor}), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Mcf) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	if err := expect(vals, 1, "mcf"); err != nil {
+		return err
+	}
+	w.cursor = vals[0]
+	return nil
+}
+
+// CheckpointState implements machine.Checkpointer.
+func (w *Equake) CheckpointState() ([]byte, error) {
+	return encodeU64s([]uint64{w.pos}), nil
+}
+
+// RestoreState implements machine.Checkpointer.
+func (w *Equake) RestoreState(data []byte) error {
+	vals, err := decodeU64s(data)
+	if err != nil {
+		return err
+	}
+	if err := expect(vals, 1, "equake"); err != nil {
+		return err
+	}
+	w.pos = vals[0]
+	return nil
+}

@@ -93,8 +93,13 @@ func stride(weights []int) []int {
 	return order
 }
 
-// unit is one schedulable chunk of work (typically one array sweep).
-type unit func(m *machine.Machine)
+// unit is one schedulable chunk of work (typically one array sweep). run
+// does the work; cursor, when non-nil, points at the unit's persistent
+// sweep position so checkpointing can capture and restore it.
+type unit struct {
+	run    func(m *machine.Machine)
+	cursor *uint64
+}
 
 // schedule executes units in a fixed cyclic order, one unit per Step.
 type schedule struct {
@@ -121,8 +126,45 @@ func (s *schedule) step(m *machine.Machine) {
 	if len(s.order) == 0 {
 		return
 	}
-	s.units[s.order[s.pos]](m)
+	s.units[s.order[s.pos]].run(m)
 	s.pos = (s.pos + 1) % len(s.order)
+}
+
+// state flattens the schedule's mutable state (rotation position plus
+// each unit's sweep cursor) for checkpointing. Stateless units contribute
+// a zero.
+func (s *schedule) state() []uint64 {
+	out := make([]uint64, 0, 1+len(s.units))
+	out = append(out, uint64(s.pos))
+	for _, u := range s.units {
+		if u.cursor != nil {
+			out = append(out, *u.cursor)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// stateLen is the number of values state produces.
+func (s *schedule) stateLen() int { return 1 + len(s.units) }
+
+// setState restores values produced by state on an identically built
+// schedule.
+func (s *schedule) setState(vals []uint64) error {
+	if len(vals) != s.stateLen() {
+		return fmt.Errorf("workload: schedule state has %d values, want %d", len(vals), s.stateLen())
+	}
+	if len(s.order) > 0 && vals[0] >= uint64(len(s.order)) {
+		return fmt.Errorf("workload: schedule position %d out of range [0,%d)", vals[0], len(s.order))
+	}
+	s.pos = int(vals[0])
+	for i, u := range s.units {
+		if u.cursor != nil {
+			*u.cursor = vals[i+1]
+		}
+	}
+	return nil
 }
 
 // --- sweep kernels ------------------------------------------------------
@@ -147,22 +189,22 @@ func segs(size uint64) int {
 // loadSweep returns a unit streaming reads over one segment per call,
 // cycling through the array.
 func loadSweep(base mem.Addr, size, cpe uint64) unit {
-	var pos uint64
+	pos := new(uint64)
 	_ = segs(size)
-	return func(m *machine.Machine) {
-		m.LoadRange(base+mem.Addr(pos), segBytes, 8, cpe)
-		pos = (pos + segBytes) % size
-	}
+	return unit{cursor: pos, run: func(m *machine.Machine) {
+		m.LoadRange(base+mem.Addr(*pos), segBytes, 8, cpe)
+		*pos = (*pos + segBytes) % size
+	}}
 }
 
 // storeSweep is loadSweep with writes.
 func storeSweep(base mem.Addr, size, cpe uint64) unit {
-	var pos uint64
+	pos := new(uint64)
 	_ = segs(size)
-	return func(m *machine.Machine) {
-		m.StoreRange(base+mem.Addr(pos), segBytes, 8, cpe)
-		pos = (pos + segBytes) % size
-	}
+	return unit{cursor: pos, run: func(m *machine.Machine) {
+		m.StoreRange(base+mem.Addr(*pos), segBytes, 8, cpe)
+		*pos = (*pos + segBytes) % size
+	}}
 }
 
 // pairSweep returns a unit sweeping the same segment of two arrays
@@ -173,12 +215,12 @@ func storeSweep(base mem.Addr, size, cpe uint64) unit {
 // computation attached to the second store of each pair, reproducing the
 // scalar Store/Store/Compute sequence exactly.
 func pairSweep(a, b mem.Addr, size, cpe uint64) unit {
-	var pos uint64
+	pos := new(uint64)
 	_ = segs(size)
 	batch := make([]mem.Ref, 0, 2048)
-	return func(m *machine.Machine) {
-		end := pos + segBytes
-		for off := pos; off < end; off += 8 {
+	return unit{cursor: pos, run: func(m *machine.Machine) {
+		end := *pos + segBytes
+		for off := *pos; off < end; off += 8 {
 			batch = append(batch,
 				mem.Ref{Addr: a + mem.Addr(off), Write: true},
 				mem.Ref{Addr: b + mem.Addr(off), Write: true, Compute: cpe})
@@ -191,8 +233,8 @@ func pairSweep(a, b mem.Addr, size, cpe uint64) unit {
 			m.AccessBatch(batch)
 			batch = batch[:0]
 		}
-		pos = end % size
-	}
+		*pos = end % size
+	}}
 }
 
 // xorshift64 is a tiny deterministic PRNG for workload data synthesis

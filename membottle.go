@@ -29,14 +29,21 @@
 package membottle
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"membottle/internal/cache"
+	"membottle/internal/checkpoint"
 	"membottle/internal/core"
+	"membottle/internal/faults"
 	"membottle/internal/machine"
 	"membottle/internal/mem"
 	"membottle/internal/objmap"
 	"membottle/internal/pmu"
+	"membottle/internal/sanitize"
+	"membottle/internal/trace"
 	"membottle/internal/truth"
 	"membottle/internal/workload"
 )
@@ -84,7 +91,41 @@ type (
 	// can treat them as a unit (the paper's §5); create via
 	// System.Machine.Space.NewArena.
 	Arena = mem.Arena
+	// FaultConfig configures deterministic fault injection (Config.Faults).
+	FaultConfig = faults.Config
+	// FaultStats counts the faults an injector actually delivered.
+	FaultStats = faults.Stats
+	// InjectedError attributes a run failure to injected faults.
+	InjectedError = faults.InjectedError
+	// InvariantError reports a sanitizer cross-check violation.
+	InvariantError = sanitize.InvariantError
+	// CancelledError reports a run stopped by context cancellation or a
+	// StopCycles limit, carrying the progress made.
+	CancelledError = machine.CancelledError
 )
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrCancelled matches every CancelledError.
+	ErrCancelled = machine.ErrCancelled
+	// ErrInvariant matches every InvariantError.
+	ErrInvariant = sanitize.ErrInvariant
+	// ErrInjected matches every InjectedError.
+	ErrInjected = faults.ErrInjected
+	// ErrNotCheckpointable reports that the loaded workload or attached
+	// profiler has no serializable state representation (the n-way search
+	// deliberately does not support checkpointing).
+	ErrNotCheckpointable = errors.New("membottle: component does not support checkpointing")
+	// ErrBadCheckpoint matches corrupt or truncated checkpoint data.
+	ErrBadCheckpoint = checkpoint.ErrCorrupt
+	// ErrSnapshotMismatch reports a well-formed checkpoint that does not
+	// belong to the system it is being restored into.
+	ErrSnapshotMismatch = errors.New("membottle: checkpoint does not match this system")
+)
+
+// ParseFaults parses a fault-injection spec like
+// "drop-miss=0.1,zero-counter=0.01,seed=7,apps=tomcatv+swim".
+func ParseFaults(spec string) (*FaultConfig, error) { return faults.Parse(spec) }
 
 // AggregateByName merges estimates whose objects share a name — all
 // activations of the same stack local, or all blocks of one allocation
@@ -137,6 +178,18 @@ type Config struct {
 	// enforce it); scalar mode is the trusted baseline those tests and
 	// cmd/mbbench compare against.
 	ScalarRefs bool
+	// Sanitize enables the invariant sanitizer: a shadow cache model and
+	// per-interrupt cross-checks of PMU counters against cache statistics
+	// and ground truth. Divergence surfaces as an InvariantError from
+	// RunContext. Forces the scalar reference path; leave off for
+	// performance runs.
+	Sanitize bool
+	// Faults, if non-nil and enabled, installs a deterministic fault
+	// injector on the PMU (and on trace replay) for the workloads it
+	// applies to: dropped or delayed interrupts, corrupted counters,
+	// corrupted trace batches. Profilers must survive with degraded
+	// estimates; the sanitizer's simulator invariants still hold.
+	Faults *FaultConfig
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -156,8 +209,12 @@ type System struct {
 	// Truth is exact per-object accounting, nil if SkipTruth was set.
 	Truth *GroundTruth
 
+	cfg      Config
+	appName  string
 	workload Workload
 	profiler Profiler
+	injector *faults.Injector
+	checker  *sanitize.Checker
 }
 
 // NewSystem builds an empty simulated system.
@@ -182,9 +239,12 @@ func NewSystem(cfg Config) *System {
 	m.Scalar = cfg.ScalarRefs
 	om := objmap.New(space)
 	om.BindSpace(space)
-	sys := &System{Machine: m, Objects: om}
+	sys := &System{Machine: m, Objects: om, cfg: cfg}
 	if !cfg.SkipTruth {
 		sys.Truth = truth.Attach(m, om)
+	}
+	if cfg.Sanitize {
+		sys.checker = sanitize.Attach(m, sys.Truth)
 	}
 	return sys
 }
@@ -195,6 +255,7 @@ func (s *System) LoadWorkload(w Workload) {
 	s.workload = w
 	w.Setup(s.Machine)
 	s.Objects.SyncGlobals(s.Machine.Space)
+	s.wireFaults()
 }
 
 // LoadWorkloadByName is LoadWorkload for the built-in registry.
@@ -203,8 +264,45 @@ func (s *System) LoadWorkloadByName(name string) error {
 	if err != nil {
 		return err
 	}
+	s.appName = name
 	s.LoadWorkload(w)
 	return nil
+}
+
+// wireFaults installs the fault injector when the configuration enables
+// faults for the loaded workload. Custom workloads (LoadWorkload with no
+// registry name) match an empty fault Apps filter only.
+func (s *System) wireFaults() {
+	f := s.cfg.Faults
+	if f == nil || !f.Enabled() || !f.AppliesTo(s.appName) {
+		return
+	}
+	inj := faults.New(*f)
+	s.injector = inj
+	s.Machine.PMU.Faults = inj
+	if r, ok := s.workload.(*trace.Replay); ok {
+		r.Faults = inj
+	}
+}
+
+// FaultStats returns the counts of faults actually injected so far, or
+// nil when no injector is active for the loaded workload.
+func (s *System) FaultStats() *FaultStats {
+	if s.injector == nil {
+		return nil
+	}
+	st := s.injector.Stats
+	return &st
+}
+
+// SanitizeReport returns the number of interrupt-boundary invariant
+// checks performed and violations raised; both zero when Config.Sanitize
+// is off.
+func (s *System) SanitizeReport() (boundaries, violations uint64) {
+	if s.checker == nil {
+		return 0, 0
+	}
+	return s.checker.Boundaries(), s.checker.Violations()
 }
 
 // Attach installs a profiler. Call after LoadWorkload so the profiler
@@ -225,6 +323,151 @@ func (s *System) Attach(p Profiler) error {
 // budget, matching the paper's equal-application-instructions comparison).
 func (s *System) Run(budget uint64) {
 	s.Machine.Run(s.workload, budget)
+}
+
+// RunContext is Run under supervision: the run stops cleanly (at a
+// workload step boundary) when ctx is cancelled or the machine's
+// StopCycles limit is reached, returning a CancelledError with the
+// progress made; sanitizer violations surface as an InvariantError
+// instead of a panic. A nil ctx is treated as context.Background().
+// Passing budget 0 with Machine.StopCycles set runs to the cycle limit.
+func (s *System) RunContext(ctx context.Context, budget uint64) error {
+	err := s.Machine.RunContext(ctx, s.workload, budget)
+	if s.checker != nil {
+		if ferr := s.checker.Final(); ferr != nil {
+			err = errors.Join(err, ferr)
+		}
+	}
+	return err
+}
+
+// workloadName identifies the loaded workload in checkpoints: the
+// registry name when loaded by name, the concrete Go type otherwise.
+func (s *System) workloadName() string {
+	if s.appName != "" {
+		return s.appName
+	}
+	return fmt.Sprintf("%T", s.workload)
+}
+
+// Checkpoint writes a versioned snapshot of the run to w. Call it only
+// when the machine is at a workload step boundary — after Run returned,
+// or after RunContext returned a clean CancelledError (Clean true);
+// snapshots taken mid-step are rejected at restore by the fingerprint
+// checks or resume divergently. Returns ErrNotCheckpointable when the
+// workload or attached profiler cannot serialize its state (notably the
+// n-way search profiler).
+func (s *System) Checkpoint(w io.Writer) error {
+	if s.workload == nil {
+		return fmt.Errorf("membottle: no workload loaded")
+	}
+	wc, ok := s.workload.(machine.Checkpointer)
+	if !ok {
+		return fmt.Errorf("%w: workload %s", ErrNotCheckpointable, s.workloadName())
+	}
+	wdata, err := wc.CheckpointState()
+	if err != nil {
+		return err
+	}
+	snap := &checkpoint.Snapshot{
+		Machine:  s.Machine.State(),
+		Cache:    s.Machine.Cache.State(),
+		PMU:      s.Machine.PMU.State(),
+		Space:    checkpoint.Fingerprint(s.Machine.Space),
+		Workload: checkpoint.Opaque{Name: s.workloadName(), Data: wdata},
+	}
+	if s.Truth != nil {
+		ts, err := s.Truth.State()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrNotCheckpointable, err)
+		}
+		snap.Truth = &ts
+	}
+	if s.profiler != nil {
+		pc, ok := s.profiler.(machine.Checkpointer)
+		if !ok {
+			return fmt.Errorf("%w: profiler %T", ErrNotCheckpointable, s.profiler)
+		}
+		pdata, err := pc.CheckpointState()
+		if err != nil {
+			return err
+		}
+		snap.Profiler = &checkpoint.Opaque{Name: fmt.Sprintf("%T", s.profiler), Data: pdata}
+	}
+	return checkpoint.Write(w, snap)
+}
+
+// Restore resumes a snapshot written by Checkpoint. The receiving system
+// must be built the same way as the one that was snapshotted: same
+// Config, same workload loaded (Setup re-runs deterministically and is
+// verified against the snapshot's address-space fingerprint), and the
+// same profiler attached. Corrupt data returns a typed checkpoint error
+// (ErrBadCheckpoint and friends); a well-formed snapshot for a different
+// setup returns ErrSnapshotMismatch.
+func (s *System) Restore(r io.Reader) error {
+	if s.workload == nil {
+		return fmt.Errorf("membottle: load the workload before restoring")
+	}
+	snap, err := checkpoint.Read(r)
+	if err != nil {
+		return err
+	}
+	if got := checkpoint.Fingerprint(s.Machine.Space); got != snap.Space {
+		return fmt.Errorf("%w: address-space fingerprint %+v differs from snapshot %+v",
+			ErrSnapshotMismatch, got, snap.Space)
+	}
+	if name := s.workloadName(); snap.Workload.Name != name {
+		return fmt.Errorf("%w: snapshot is for workload %q, system has %q",
+			ErrSnapshotMismatch, snap.Workload.Name, name)
+	}
+	wc, ok := s.workload.(machine.Checkpointer)
+	if !ok {
+		return fmt.Errorf("%w: workload %s", ErrNotCheckpointable, s.workloadName())
+	}
+	if err := wc.RestoreState(snap.Workload.Data); err != nil {
+		return err
+	}
+	if snap.Profiler != nil {
+		if s.profiler == nil {
+			return fmt.Errorf("%w: snapshot carries profiler state %q but no profiler is attached",
+				ErrSnapshotMismatch, snap.Profiler.Name)
+		}
+		pc, ok := s.profiler.(machine.Checkpointer)
+		if !ok {
+			return fmt.Errorf("%w: profiler %T", ErrNotCheckpointable, s.profiler)
+		}
+		if name := fmt.Sprintf("%T", s.profiler); name != snap.Profiler.Name {
+			return fmt.Errorf("%w: snapshot profiler %q, attached %q",
+				ErrSnapshotMismatch, snap.Profiler.Name, name)
+		}
+		if err := pc.RestoreState(snap.Profiler.Data); err != nil {
+			return err
+		}
+	} else if s.profiler != nil {
+		return fmt.Errorf("%w: snapshot has no profiler state but %T is attached",
+			ErrSnapshotMismatch, s.profiler)
+	}
+	if err := s.Machine.Cache.SetState(snap.Cache); err != nil {
+		return err
+	}
+	if err := s.Machine.PMU.SetState(snap.PMU); err != nil {
+		return err
+	}
+	s.Machine.SetState(snap.Machine)
+	if snap.Truth != nil {
+		if s.Truth == nil {
+			return fmt.Errorf("%w: snapshot tracks ground truth but SkipTruth is set", ErrSnapshotMismatch)
+		}
+		if err := s.Truth.SetState(*snap.Truth); err != nil {
+			return err
+		}
+	} else if s.Truth != nil {
+		return fmt.Errorf("%w: snapshot lacks ground-truth state but this system tracks it", ErrSnapshotMismatch)
+	}
+	if s.checker != nil {
+		s.checker.Resync()
+	}
+	return nil
 }
 
 // Overhead summarizes the instrumentation cost of the run so far.

@@ -1,0 +1,291 @@
+package membottle_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"membottle"
+)
+
+// newSamplerSystem builds a system with the given config, loads app, and
+// attaches a fresh random-interval sampler (the configuration whose RNG
+// state exercises the checkpoint draw-replay path).
+func newSamplerSystem(t *testing.T, cfg membottle.Config, app string) (*membottle.System, *membottle.Sampler) {
+	t.Helper()
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSampler(membottle.SamplerConfig{
+		Interval: 2000, Mode: membottle.IntervalRandom, Seed: 7,
+	})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	return sys, prof
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	sys, _ := newSamplerSystem(t, membottle.DefaultConfig(), "mgrid")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sys.RunContext(ctx, 10_000_000)
+	if !errors.Is(err, membottle.ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+	var ce *membottle.CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v does not carry a CancelledError", err)
+	}
+	if !ce.Clean {
+		t.Errorf("pre-run cancellation should stop at a step boundary: %+v", ce)
+	}
+	if ce.AppInsts != 0 {
+		t.Errorf("pre-run cancellation executed %d app instructions", ce.AppInsts)
+	}
+	if !errors.Is(ce.Cause, context.Canceled) {
+		t.Errorf("cause = %v, want context.Canceled", ce.Cause)
+	}
+}
+
+func TestStopCyclesStopsCleanly(t *testing.T) {
+	sys, _ := newSamplerSystem(t, membottle.DefaultConfig(), "mgrid")
+	sys.Machine.StopCycles = 2_000_000
+	err := sys.RunContext(nil, 40_000_000)
+	var ce *membottle.CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want CancelledError", err)
+	}
+	if !ce.Clean {
+		t.Errorf("StopCycles stop not clean: %+v", ce)
+	}
+	if ce.Cycles < 2_000_000 {
+		t.Errorf("stopped at cycle %d, before the 2M deadline", ce.Cycles)
+	}
+	if ce.AppInsts == 0 || ce.AppInsts >= 40_000_000 {
+		t.Errorf("implausible progress at stop: %d app instructions", ce.AppInsts)
+	}
+	// The deadline cleared, the run finishes the remaining budget.
+	sys.Machine.StopCycles = 0
+	if err := sys.RunContext(nil, 40_000_000); err != nil {
+		t.Fatalf("continuation failed: %v", err)
+	}
+	if got := sys.Machine.AppInsts; got < 40_000_000 {
+		t.Errorf("continuation ended at %d app instructions, want >= 40M", got)
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the core resumability property: an
+// interrupted run that checkpoints, restores into a fresh system, and
+// finishes must be indistinguishable from an uninterrupted run — strong
+// enough that the final checkpoints of both are byte-identical.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	const app, budget, stop = "tomcatv", uint64(24_000_000), uint64(8_000_000)
+
+	// Uninterrupted baseline.
+	base, _ := newSamplerSystem(t, membottle.DefaultConfig(), app)
+	if err := base.RunContext(nil, budget); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	var want bytes.Buffer
+	if err := base.Checkpoint(&want); err != nil {
+		t.Fatalf("baseline checkpoint: %v", err)
+	}
+
+	// Interrupted run, checkpointed mid-flight.
+	first, _ := newSamplerSystem(t, membottle.DefaultConfig(), app)
+	first.Machine.StopCycles = stop
+	err := first.RunContext(nil, budget)
+	var ce *membottle.CancelledError
+	if !errors.As(err, &ce) || !ce.Clean {
+		t.Fatalf("interrupted run: got %v, want clean CancelledError", err)
+	}
+	var mid bytes.Buffer
+	if err := first.Checkpoint(&mid); err != nil {
+		t.Fatalf("mid-run checkpoint: %v", err)
+	}
+
+	// Fresh process: rebuild the same system, restore, finish.
+	resumed, _ := newSamplerSystem(t, membottle.DefaultConfig(), app)
+	if err := resumed.Restore(bytes.NewReader(mid.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := resumed.Machine.Cycles; got != ce.Cycles {
+		t.Fatalf("restored at cycle %d, checkpointed at %d", got, ce.Cycles)
+	}
+	if err := resumed.RunContext(nil, budget); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	var got bytes.Buffer
+	if err := resumed.Checkpoint(&got); err != nil {
+		t.Fatalf("resumed checkpoint: %v", err)
+	}
+
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("resumed run diverged from uninterrupted run: checkpoint sizes %d vs %d",
+			want.Len(), got.Len())
+	}
+	if base.Machine.State() != resumed.Machine.State() {
+		t.Errorf("machine state diverged: %+v vs %+v", base.Machine.State(), resumed.Machine.State())
+	}
+	if b, r := base.Truth.Total, resumed.Truth.Total; b != r {
+		t.Errorf("ground-truth totals diverged: %d vs %d", b, r)
+	}
+}
+
+func TestSearchNotCheckpointable(t *testing.T) {
+	sys := membottle.NewSystem(membottle.DefaultConfig())
+	if err := sys.LoadWorkloadByName("mgrid"); err != nil {
+		t.Fatal(err)
+	}
+	prof := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 8_000_000})
+	if err := sys.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(4_000_000)
+	var buf bytes.Buffer
+	if err := sys.Checkpoint(&buf); !errors.Is(err, membottle.ErrNotCheckpointable) {
+		t.Fatalf("got %v, want ErrNotCheckpointable", err)
+	}
+}
+
+func TestRestoreRejectsMismatchedSystems(t *testing.T) {
+	src, _ := newSamplerSystem(t, membottle.DefaultConfig(), "tomcatv")
+	src.Run(4_000_000)
+	var snap bytes.Buffer
+	if err := src.Checkpoint(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different workload: the address-space fingerprint differs.
+	other, _ := newSamplerSystem(t, membottle.DefaultConfig(), "swim")
+	if err := other.Restore(bytes.NewReader(snap.Bytes())); !errors.Is(err, membottle.ErrSnapshotMismatch) {
+		t.Errorf("wrong workload: got %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Same workload but no profiler attached, while the snapshot carries
+	// sampler state.
+	bare := membottle.NewSystem(membottle.DefaultConfig())
+	if err := bare.LoadWorkloadByName("tomcatv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.Restore(bytes.NewReader(snap.Bytes())); !errors.Is(err, membottle.ErrSnapshotMismatch) {
+		t.Errorf("missing profiler: got %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Corrupt data fails with the typed checkpoint error before any state
+	// is touched.
+	fresh, _ := newSamplerSystem(t, membottle.DefaultConfig(), "tomcatv")
+	truncated := snap.Bytes()[:snap.Len()/2]
+	if err := fresh.Restore(bytes.NewReader(truncated)); !errors.Is(err, membottle.ErrBadCheckpoint) {
+		t.Errorf("truncated snapshot: got %v, want ErrBadCheckpoint", err)
+	}
+	if fresh.Machine.Cycles != 0 {
+		t.Errorf("failed restore advanced the machine to cycle %d", fresh.Machine.Cycles)
+	}
+}
+
+func TestSanitizerCleanRun(t *testing.T) {
+	cfg := membottle.DefaultConfig()
+	cfg.Sanitize = true
+	sys, _ := newSamplerSystem(t, cfg, "mgrid")
+	if err := sys.RunContext(nil, 8_000_000); err != nil {
+		t.Fatalf("sanitized run reported a violation on a healthy simulator: %v", err)
+	}
+	boundaries, violations := sys.SanitizeReport()
+	if boundaries == 0 {
+		t.Error("sanitizer performed no boundary checks")
+	}
+	if violations != 0 {
+		t.Errorf("healthy run raised %d violations", violations)
+	}
+}
+
+func TestSanitizerDetectsCounterCorruption(t *testing.T) {
+	cfg := membottle.DefaultConfig()
+	cfg.Sanitize = true
+	sys, _ := newSamplerSystem(t, cfg, "mgrid")
+	if err := sys.RunContext(nil, 4_000_000); err != nil {
+		t.Fatalf("setup run: %v", err)
+	}
+	// Corrupt the PMU's global miss counter behind the simulator's back;
+	// the final cross-check against cache statistics must catch it.
+	sys.Machine.PMU.GlobalMisses += 7
+	err := sys.RunContext(nil, 4_000_000)
+	if !errors.Is(err, membottle.ErrInvariant) {
+		t.Fatalf("got %v, want ErrInvariant", err)
+	}
+	var ie *membottle.InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v does not carry an InvariantError", err)
+	}
+	if ie.Check != "pmu-global-misses" {
+		t.Errorf("violated check = %q, want pmu-global-misses", ie.Check)
+	}
+	if _, violations := sys.SanitizeReport(); violations == 0 {
+		t.Error("violation not counted in SanitizeReport")
+	}
+}
+
+// TestFaultInjectionSurvival is the robustness property test: under
+// deterministic interrupt and counter faults, with the sanitizer
+// cross-checking the simulator the whole time, both profilers must finish
+// without error or panic and report estimates that are still plausible
+// percentages.
+func TestFaultInjectionSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow in -short mode")
+	}
+	const budget = 8_000_000
+	for seed := int64(1); seed <= 5; seed++ {
+		faults := &membottle.FaultConfig{
+			Seed:            seed,
+			DropMissIrq:     0.3,
+			DelayMissIrq:    0.2,
+			DropTimerIrq:    0.3,
+			DelayTimerIrq:   0.2,
+			ZeroCounter:     0.01,
+			SaturateCounter: 0.01,
+		}
+
+		cfg := membottle.DefaultConfig()
+		cfg.Sanitize = true
+		cfg.Faults = faults
+		sys, prof := newSamplerSystem(t, cfg, "mgrid")
+		if err := sys.RunContext(nil, budget); err != nil {
+			t.Fatalf("seed %d: faulted sampler run failed: %v", seed, err)
+		}
+		if st := sys.FaultStats(); st == nil {
+			t.Fatalf("seed %d: fault injector not wired", seed)
+		}
+		checkEstimates(t, seed, "sampler", prof.Estimates())
+
+		cfg = membottle.DefaultConfig()
+		cfg.Sanitize = true
+		cfg.Faults = faults
+		sys2 := membottle.NewSystem(cfg)
+		if err := sys2.LoadWorkloadByName("mgrid"); err != nil {
+			t.Fatal(err)
+		}
+		search := membottle.NewSearch(membottle.SearchConfig{N: 10, Interval: 2_000_000})
+		if err := sys2.Attach(search); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys2.RunContext(nil, budget); err != nil {
+			t.Fatalf("seed %d: faulted search run failed: %v", seed, err)
+		}
+		checkEstimates(t, seed, "search", search.Estimates())
+	}
+}
+
+func checkEstimates(t *testing.T, seed int64, profiler string, es []membottle.Estimate) {
+	t.Helper()
+	for _, e := range es {
+		if math.IsNaN(e.Pct) || e.Pct < 0 || e.Pct > 100 {
+			t.Errorf("seed %d: %s estimate for %s out of range: %v", seed, profiler, e.Object.Name, e.Pct)
+		}
+	}
+}
