@@ -67,6 +67,7 @@ func main() {
 		budget  = flag.Uint64("budget", 0, "application instruction budget per run (0: 130M, or 20M with -quick)")
 		appsArg = flag.String("apps", "", "comma-separated workload subset (default: the paper's seven, or three with -quick)")
 		reps    = flag.Int("reps", 3, "repetitions per configuration; the fastest is reported")
+		obsAB   = flag.Bool("obs", false, "measure observability overhead instead: batched engine with obs off vs on")
 	)
 	flag.Parse()
 
@@ -88,6 +89,11 @@ func main() {
 		}
 	}
 
+	if *obsAB {
+		runObsBench(apps, b, *reps, *outDir)
+		return
+	}
+
 	for _, w := range []struct {
 		name string
 		run  func(app string, scalar bool) (uint64, error)
@@ -98,7 +104,7 @@ func main() {
 	} {
 		file := File{Workload: w.name, Budget: b}
 		for _, app := range apps {
-			pair, err := measurePair(w.name, app, *reps, w.run)
+			pair, err := measurePair(w.name, app, *reps, [2]string{"scalar", "batched"}, w.run)
 			if err != nil {
 				fatal(err)
 			}
@@ -127,16 +133,16 @@ func main() {
 	}
 }
 
-// measurePair runs one configuration on both engines and cross-checks
-// them. The two engines alternate within each repetition, and each
-// engine's fastest repetition is reported: alternation exposes both modes
-// to the same load windows on a shared host, and the minimum discards
-// repetitions that lost the CPU entirely.
-func measurePair(workload, app string, reps int, run func(app string, scalar bool) (uint64, error)) ([]Result, error) {
+// measurePair runs one configuration in both modes and cross-checks
+// them; run receives true for modes[0]. The two modes alternate within
+// each repetition, and each mode's fastest repetition is reported:
+// alternation exposes both modes to the same load windows on a shared
+// host, and the minimum discards repetitions that lost the CPU entirely.
+func measurePair(workload, app string, reps int, modeNames [2]string, run func(app string, first bool) (uint64, error)) ([]Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	modes := []string{"scalar", "batched"}
+	modes := modeNames[:]
 	refsSeen := make([]uint64, len(modes))
 	wallNs := make([]int64, len(modes))
 	allocs := make([]uint64, len(modes))
@@ -145,7 +151,7 @@ func measurePair(workload, app string, reps int, run func(app string, scalar boo
 			var repRefs uint64
 			var err error
 			repNs, repAllocs := measure(func() {
-				repRefs, err = run(app, mode == "scalar")
+				repRefs, err = run(app, mode == modes[0])
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s (%s): %w", workload, app, mode, err)
@@ -170,14 +176,95 @@ func measurePair(workload, app string, reps int, run func(app string, scalar boo
 		})
 	}
 	if out[0].Refs != out[1].Refs {
-		return nil, fmt.Errorf("%s/%s: scalar issued %d refs, batched %d — engines diverged",
-			workload, app, out[0].Refs, out[1].Refs)
+		return nil, fmt.Errorf("%s/%s: %s issued %d refs, %s %d — runs diverged",
+			workload, app, modes[0], out[0].Refs, modes[1], out[1].Refs)
 	}
 	speedup := float64(out[0].WallNs) / float64(out[1].WallNs)
 	out[1].SpeedupVsScalar = speedup
-	fmt.Printf("%-8s %-9s %12d refs  scalar %6.2f ns/ref  batched %6.2f ns/ref  speedup %.2fx\n",
-		workload, app, out[0].Refs, out[0].NsPerRef, out[1].NsPerRef, speedup)
+	fmt.Printf("%-8s %-9s %12d refs  %s %6.2f ns/ref  %s %6.2f ns/ref  ratio %.2fx\n",
+		workload, app, out[0].Refs, modes[0], out[0].NsPerRef, modes[1], out[1].NsPerRef, speedup)
 	return out, nil
+}
+
+// runObsBench is the -obs mode: both sides run the batched engine; the
+// A side has no obs bundle attached, the B side records metrics and
+// events. The interesting number is the ratio per family — table1 is the
+// pure hot path (the per-batch nil check), figure3 adds the per-interrupt
+// recording path. Ratios near 1.00x mean observability is free when off
+// and cheap when on; README documents the measured cost.
+func runObsBench(apps []string, budget uint64, reps int, outDir string) {
+	for _, w := range []struct {
+		name string
+		run  func(app string, obsOff bool) (uint64, error)
+	}{
+		{"obs-table1", func(app string, obsOff bool) (uint64, error) { return runPlainObs(app, !obsOff, budget) }},
+		{"obs-figure3", func(app string, obsOff bool) (uint64, error) { return runSampledObs(app, !obsOff, budget) }},
+	} {
+		file := File{Workload: w.name, Budget: budget}
+		for _, app := range apps {
+			pair, err := measurePair(w.name, app, reps, [2]string{"obs-off", "obs-on"}, w.run)
+			if err != nil {
+				fatal(err)
+			}
+			file.Results = append(file.Results, pair...)
+		}
+		var offNs, onNs int64
+		for _, r := range file.Results {
+			if r.Mode == "obs-off" {
+				offNs += r.WallNs
+			} else {
+				onNs += r.WallNs
+			}
+		}
+		file.AggregateSpeedup = float64(offNs) / float64(onNs)
+		fmt.Printf("%-11s aggregate: obs-off %v, obs-on %v, obs-on cost %+.1f%%\n",
+			w.name, time.Duration(offNs), time.Duration(onNs),
+			100*(float64(onNs)/float64(offNs)-1))
+		path := filepath.Join(outDir, "BENCH_"+w.name+".json")
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// runPlainObs mirrors runPlain on the batched engine, optionally with a
+// fresh obs bundle attached.
+func runPlainObs(app string, withObs bool, budget uint64) (uint64, error) {
+	cfg := membottle.DefaultConfig()
+	if withObs {
+		cfg.Obs = membottle.NewObs(membottle.ObsOptions{})
+	}
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return 0, err
+	}
+	sys.Run(budget)
+	sys.FlushObs()
+	return sys.Machine.Cache.Stats.Accesses(), nil
+}
+
+// runSampledObs mirrors runSampled: the miss sampler interrupts
+// throughout, so the per-interrupt recording path is on the clock.
+func runSampledObs(app string, withObs bool, budget uint64) (uint64, error) {
+	cfg := membottle.DefaultConfig()
+	if withObs {
+		cfg.Obs = membottle.NewObs(membottle.ObsOptions{})
+	}
+	sys := membottle.NewSystem(cfg)
+	if err := sys.LoadWorkloadByName(app); err != nil {
+		return 0, err
+	}
+	if err := sys.Attach(membottle.NewSampler(membottle.SamplerConfig{Interval: 2_000})); err != nil {
+		return 0, err
+	}
+	sys.Run(budget)
+	sys.FlushObs()
+	return sys.Machine.Cache.Stats.Accesses(), nil
 }
 
 // measure times fn and reports (wall ns, heap allocations).

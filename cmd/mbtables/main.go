@@ -23,6 +23,7 @@ import (
 
 	"membottle"
 	"membottle/internal/experiments"
+	"membottle/internal/obsio"
 	"membottle/internal/report"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. drop-miss=0.1,apps=tomcatv,seed=7")
 		retries   = flag.Int("retries", 0, "retries for cells that fail due to injected faults")
 	)
+	obsFlags := obsio.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -54,6 +56,11 @@ func main() {
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
+	}
+	if o, err := obsFlags.Build(); err != nil {
+		fatal(err)
+	} else {
+		opt.Obs = o
 	}
 	if *faults != "" {
 		fc, err := membottle.ParseFaults(*faults)
@@ -135,6 +142,9 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := obsFlags.Finish(opt.Obs, os.Stdout); err != nil {
+		fatal(err)
 	}
 	if failed {
 		os.Exit(1)

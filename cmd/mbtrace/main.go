@@ -1,10 +1,13 @@
 // Command mbtrace records a workload's memory-reference stream to a
 // compact binary trace, inspects traces, and replays them through a fresh
 // simulated cache — the ATOM-style capture side of the paper's tooling.
+// It also validates observability event traces (the JSONL files written
+// by the other commands' -trace-out flag).
 //
 //	mbtrace -record -app tomcatv -budget 10000000 -o tomcatv.mbt
 //	mbtrace -info tomcatv.mbt
 //	mbtrace -replay tomcatv.mbt -budget 10000000
+//	mbtrace -events run.jsonl
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 
 	"membottle"
+	"membottle/internal/obs"
 	"membottle/internal/trace"
 )
 
@@ -25,6 +29,7 @@ func main() {
 		app    = flag.String("app", "tomcatv", "workload to record")
 		budget = flag.Uint64("budget", 10_000_000, "application instructions")
 		out    = flag.String("o", "", "output file for -record (default <app>.mbt)")
+		events = flag.String("events", "", "validate and summarize a JSONL event trace written by -trace-out")
 	)
 	flag.Parse()
 
@@ -35,6 +40,8 @@ func main() {
 		doReplay(*replay, *budget)
 	case *info != "":
 		doInfo(*info)
+	case *events != "":
+		doEvents(*events)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -49,25 +56,61 @@ func doRecord(app string, budget uint64, out string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 
 	w, err := membottle.NewWorkload(app)
 	if err != nil {
+		f.Close()
 		fatal(err)
 	}
 	sys := membottle.NewSystem(membottle.DefaultConfig())
 	sys.LoadWorkload(w)
 	tw, err := trace.Record(f, w, sys.Machine, budget)
 	if err != nil {
+		f.Close()
 		fatal(err)
 	}
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
 		fatal(err)
+	}
+	// A buffered close failure means the trace on disk is truncated;
+	// report it and exit nonzero instead of printing a success line.
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("writing %s: %w", out, err))
 	}
 	fmt.Printf("recorded %s: %d events, %d bytes (%.2f bytes/event), %d misses\n",
 		out, tw.Events(), st.Size(), float64(st.Size())/float64(tw.Events()),
 		sys.Machine.Cache.Stats.Misses)
+}
+
+// doEvents validates a JSONL observability trace through the strict
+// decoder and prints per-kind counts — the check CI runs against the
+// files membottle -trace-out writes.
+func doEvents(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	byKind := map[obs.EventKind]uint64{}
+	var lastCycle uint64
+	for _, ev := range evs {
+		byKind[ev.Kind]++
+		if ev.Cycle > lastCycle {
+			lastCycle = ev.Cycle
+		}
+	}
+	fmt.Printf("%s: %d events valid, last cycle %d\n", path, len(evs), lastCycle)
+	for k := obs.EvInterrupt; k.Valid(); k++ {
+		if n := byKind[k]; n > 0 {
+			fmt.Printf("  %-15s %d\n", k, n)
+		}
+	}
 }
 
 func doReplay(path string, budget uint64) {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"membottle"
+	"membottle/internal/obsio"
 	"membottle/internal/report"
 )
 
@@ -42,6 +43,7 @@ func main() {
 		resumePath = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
 		stopCycles = flag.Uint64("stop-cycles", 0, "stop cleanly at the first step boundary past this cycle count")
 	)
+	obsFlags := obsio.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -51,6 +53,11 @@ func main() {
 
 	cfg := membottle.DefaultConfig()
 	cfg.Sanitize = *sanitize
+	if o, err := obsFlags.Build(); err != nil {
+		fatal(err)
+	} else {
+		cfg.Obs = o
+	}
 	if *faultsSpec != "" {
 		fc, err := membottle.ParseFaults(*faultsSpec)
 		if err != nil {
@@ -101,6 +108,9 @@ func main() {
 		fmt.Printf("resumed from %s at cycle %d\n", *resumePath, sys.Machine.Cycles)
 	}
 	sys.Machine.StopCycles = *stopCycles
+	if obsFlags.Progress > 0 {
+		sys.AttachProgress(os.Stderr, obsFlags.Progress, *budget)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -166,6 +176,10 @@ func main() {
 	}
 	if st := sys.FaultStats(); st != nil {
 		fmt.Printf("faults injected: %s\n", st)
+	}
+	sys.FlushObs()
+	if err := obsFlags.Finish(cfg.Obs, os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"membottle/internal/machine"
 	"membottle/internal/objmap"
+	"membottle/internal/obs"
 	"membottle/internal/shadow"
 )
 
@@ -238,6 +239,17 @@ func (s *Sampler) handle(m *machine.Machine) {
 		// Read-modify-write of the object's shadow counter.
 		s.countArr.Load(m, uint64(obj.ID))
 		s.countArr.Store(m, uint64(obj.ID))
+	}
+	if o := m.Obs; o != nil {
+		o.Samples.Inc()
+		matched := uint64(0)
+		note := ""
+		if obj != nil {
+			o.SamplesMatched.Inc()
+			matched = 1
+			note = obj.Name
+		}
+		o.Emit(obs.Event{Cycle: m.Cycles, Kind: obs.EvSample, A: uint64(addr), B: matched, Note: note})
 	}
 
 	if s.cfg.TargetOverheadPct > 0 && s.tuneDue() {

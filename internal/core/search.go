@@ -6,6 +6,7 @@ import (
 	"membottle/internal/machine"
 	"membottle/internal/mem"
 	"membottle/internal/objmap"
+	"membottle/internal/obs"
 	"membottle/internal/shadow"
 )
 
@@ -328,6 +329,12 @@ func (s *Search) iterate(m *machine.Machine) {
 	delta := global - s.lastGlobal
 	s.lastGlobal = global
 
+	if o := m.Obs; o != nil {
+		o.SearchRounds.Inc()
+		o.Emit(obs.Event{Cycle: m.Cycles, Kind: obs.EvSearchRound,
+			A: uint64(len(s.measuring)), B: delta})
+	}
+
 	if delta == 0 && !s.finalizing {
 		// Nothing happened (application in a pure-compute phase): stretch
 		// the interval and re-measure the same regions.
@@ -358,9 +365,11 @@ func (s *Search) iterate(m *machine.Machine) {
 		// the estimate instead of corrupting every downstream percentage.
 		if counts[i] == ^uint64(0) {
 			s.anomalies++
+			s.noteClamp(m, i, ^uint64(0))
 			counts[i] = 0
 		} else if counts[i] > delta {
 			s.anomalies++
+			s.noteClamp(m, i, counts[i])
 			counts[i] = delta
 		}
 	}
@@ -455,6 +464,16 @@ func (s *Search) growInterval() {
 
 func (s *Search) rearm(m *machine.Machine) {
 	m.PMU.SetTimer(m.Cycles + s.interval)
+}
+
+// noteClamp records one discarded implausible counter reading: counter
+// index and the raw value it reported before clamping.
+func (s *Search) noteClamp(m *machine.Machine, counter int, raw uint64) {
+	if o := m.Obs; o != nil {
+		o.CounterClamps.Inc()
+		o.Emit(obs.Event{Cycle: m.Cycles, Kind: obs.EvCounterClamp,
+			A: uint64(counter), B: raw})
+	}
 }
 
 // checkTermination applies the paper's two stopping rules and enters the
@@ -563,6 +582,11 @@ func (s *Search) split(m *machine.Machine, r *Region) (*Region, *Region) {
 	probes := shadow.BinarySearchProbes(m, s.objTable, uint64(s.om.Len()), idx)
 	m.Compute(uint64(probes)*6 + 64)
 
+	if o := m.Obs; o != nil {
+		o.RegionSplits.Inc()
+		o.Emit(obs.Event{Cycle: m.Cycles, Kind: obs.EvRegionSplit,
+			A: uint64(r.Lo), B: uint64(r.Hi)})
+	}
 	a := s.newRegion(r.Lo, mid)
 	b := s.newRegion(mid, r.Hi)
 	// Children inherit the parent's last share as a prior, halved, so
@@ -694,9 +718,11 @@ func (s *Search) finalizeStep(m *machine.Machine, delta uint64) {
 		s.counterArr.Load(m, uint64(i))
 		if cnt == ^uint64(0) {
 			s.anomalies++
+			s.noteClamp(m, i, ^uint64(0))
 			cnt = 0
 		} else if cnt > delta {
 			s.anomalies++
+			s.noteClamp(m, i, cnt)
 			cnt = delta
 		}
 		if delta > 0 {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"membottle"
+)
+
+// TestSharedObsAcrossParallelCells runs Table 1 cells concurrently with
+// one shared observability bundle — the configuration the -race CI job
+// exercises. Every cell records into the same registry and tracer; the
+// aggregated totals must reflect all of them.
+func TestSharedObsAcrossParallelCells(t *testing.T) {
+	o := membottle.NewObs(membottle.ObsOptions{})
+	opt := Options{
+		Apps:   []string{"tomcatv", "mgrid"},
+		Budget: 4_000_000,
+		Obs:    o,
+	}
+	rs, err := Table1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("%s cell failed: %v", r.App, r.Err)
+		}
+	}
+	// Each Table 1 cell is three runs (plain, sampler, search), all
+	// flushed into the shared registry.
+	if got := o.Runs.Value(); got != 6 {
+		t.Errorf("runs flushed = %d, want 6", got)
+	}
+	if o.Interrupts.Value() == 0 || o.Samples.Value() == 0 || o.SearchRounds.Value() == 0 {
+		t.Errorf("shared bundle missing activity: irqs=%d samples=%d rounds=%d",
+			o.Interrupts.Value(), o.Samples.Value(), o.SearchRounds.Value())
+	}
+	if o.Tracer.Total() == 0 {
+		t.Error("shared tracer recorded no events")
+	}
+	var sb strings.Builder
+	if err := o.Snapshot().WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sim.runs") {
+		t.Error("summary missing sim.runs")
+	}
+}

@@ -70,6 +70,10 @@ type Options struct {
 	// to injected faults is re-run (with a deterministically re-salted
 	// fault seed). 0 means no retries.
 	Retries int
+	// Obs, when non-nil, attaches the shared observability bundle to
+	// every run the experiment performs (parallel cells record into it
+	// concurrently) and flushes each run's totals into its registry.
+	Obs *membottle.Obs
 
 	// attempt is the current retry attempt for the cell being run; set
 	// by forEachApp, it re-salts the fault injector's seed.

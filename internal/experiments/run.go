@@ -21,6 +21,7 @@ func newSystem(opt Options) *membottle.System {
 		fc := opt.Faults.WithSeed(opt.attempt)
 		cfg.Faults = &fc
 	}
+	cfg.Obs = opt.Obs
 	return membottle.NewSystem(cfg)
 }
 
@@ -29,6 +30,7 @@ func newSystem(opt Options) *membottle.System {
 // system's injector actually fired, making it retryable.
 func superviseRun(opt Options, sys *membottle.System, app string, budget uint64) error {
 	err := sys.RunContext(opt.Ctx, budget)
+	sys.FlushObs()
 	if err == nil {
 		return nil
 	}

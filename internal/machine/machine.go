@@ -15,6 +15,7 @@ import (
 
 	"membottle/internal/cache"
 	"membottle/internal/mem"
+	"membottle/internal/obs"
 	"membottle/internal/pmu"
 )
 
@@ -106,6 +107,17 @@ type Machine struct {
 	// each delivered handler returns). A non-nil result stops the run:
 	// RunContext returns the error, plain Run panics with it.
 	Invariants func(*Machine) error
+	// OnStep, if set, is called after every completed workload Step in
+	// Run/RunContext. It exists for progress reporting; it must not
+	// mutate simulation state (it runs outside the simulated clock).
+	OnStep func(*Machine)
+
+	// Obs, if set, receives passive instrumentation: interrupt counts and
+	// latencies, per-window reference/miss totals, and trace events. All
+	// recording reads simulation state without changing it, so runs with
+	// and without Obs are bit-identical; the batched hot path pays exactly
+	// one nil check per AccessBatch call.
+	Obs *obs.Obs
 
 	// StopCycles, if non-zero, makes RunContext stop cleanly at the first
 	// workload Step boundary where Cycles >= StopCycles, returning a
@@ -123,6 +135,13 @@ type Machine struct {
 
 	inHandler bool
 	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
+
+	// obsWinRefs/obsWinMisses mark the cache stats at the previous
+	// interrupt delivery, so deliver() can record per-window totals.
+	// Observational only: deliberately excluded from State so checkpoints
+	// stay byte-identical with and without Obs attached.
+	obsWinRefs   uint64
+	obsWinMisses uint64
 
 	// Supervision state: runCtx is non-nil only inside RunContext;
 	// stopErr, once set, freezes the machine (references and compute
@@ -224,6 +243,22 @@ func (m *Machine) deliver() {
 		}
 		m.inHandler = false
 		m.HandlerCycles += m.Cycles - start
+		if o := m.Obs; o != nil {
+			o.Interrupts.Inc()
+			if kind == pmu.IrqMissOverflow {
+				o.MissIrqs.Inc()
+			} else {
+				o.TimerIrqs.Inc()
+			}
+			lat := m.Cycles - start
+			o.IrqLatency.Observe(lat)
+			st := m.Cache.Stats
+			refs, misses := st.Accesses(), st.Misses
+			o.WindowRefs.Observe(refs - m.obsWinRefs)
+			o.WindowMisses.Observe(misses - m.obsWinMisses)
+			m.obsWinRefs, m.obsWinMisses = refs, misses
+			o.Emit(obs.Event{Cycle: start, Kind: obs.EvInterrupt, A: uint64(kind), B: lat, Note: kind.String()})
+		}
 		if m.Invariants != nil {
 			if err := m.Invariants(m); err != nil {
 				m.stop(err)
@@ -289,6 +324,9 @@ func (m *Machine) Run(w Workload, appInstBudget uint64) {
 			err := m.stopErr
 			m.stopErr = nil
 			panic(err)
+		}
+		if m.OnStep != nil {
+			m.OnStep(m)
 		}
 	}
 }
@@ -363,6 +401,9 @@ func (m *Machine) RunContext(ctx context.Context, w Workload, appInstBudget uint
 			m.stopErr = nil
 			return err
 		}
+		if m.OnStep != nil {
+			m.OnStep(m)
+		}
 	}
 	return nil
 }
@@ -412,6 +453,12 @@ func (m *Machine) AccessBatch(refs []Ref) {
 	if m.Scalar || m.OnRef != nil || m.OnAccess != nil {
 		m.scalarRefs(refs)
 		return
+	}
+	// The single per-batch observability probe: one nil check when Obs is
+	// off (the overhead-guard benchmark enforces this stays cheap).
+	if o := m.Obs; o != nil {
+		o.Batches.Inc()
+		o.BatchRefs.Add(uint64(len(refs)))
 	}
 	for len(refs) > 0 {
 		if m.stopErr != nil {

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRegistryAndTracer hammers one Obs from many goroutines —
+// the shape of parallel experiment cells sharing a registry — while a
+// reader snapshots and exports concurrently. Run under -race this is the
+// concurrency proof for the whole layer; the final totals check that no
+// update was lost.
+func TestConcurrentRegistryAndTracer(t *testing.T) {
+	o := New(Options{TraceCap: 256})
+	const workers = 8
+	const perWorker = 10_000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				o.Interrupts.Inc()
+				o.BatchRefs.Add(3)
+				o.IrqLatency.Observe(uint64(8_800 + i%64))
+				o.Registry.Gauge("sim.last_run_miss_pct").Set(float64(w))
+				o.Emit(Event{Cycle: uint64(i), Kind: EvInterrupt, A: uint64(w), B: 8_800})
+				if i%1024 == 0 {
+					// Late registration races against updates and snapshots.
+					o.Registry.Counter("late.worker").Inc()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots, summaries, and trace exports must be
+	// safe while writers run.
+	stop := make(chan struct{})
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := o.Snapshot()
+			var sb strings.Builder
+			if err := snap.WriteSummary(&sb); err != nil {
+				t.Errorf("summary during writes: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := WriteJSONL(&buf, o.Tracer.Events()); err != nil {
+				t.Errorf("jsonl during writes: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+
+	if got := o.Interrupts.Value(); got != workers*perWorker {
+		t.Fatalf("interrupts = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	if got := o.BatchRefs.Value(); got != 3*workers*perWorker {
+		t.Fatalf("batch refs = %d, want %d", got, 3*workers*perWorker)
+	}
+	if got := o.IrqLatency.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.Tracer.Total(); got != workers*perWorker {
+		t.Fatalf("tracer total = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(o.Tracer.Events()); got != 256 {
+		t.Fatalf("ring retained %d, want 256", got)
+	}
+}
+
+func TestProgressRateLimitAndContent(t *testing.T) {
+	var buf bytes.Buffer
+	p := Progress{W: &buf, Every: time.Nanosecond} // effectively every tick after the first
+	p.Tick(0, 0, 1_000, 0, 0)                      // primes the baseline, prints nothing
+	time.Sleep(time.Millisecond)
+	p.Tick(10_000, 500, 1_000, 4_000, 40)
+	if p.Lines() != 1 {
+		t.Fatalf("lines = %d, want 1", p.Lines())
+	}
+	out := buf.String()
+	for _, frag := range []string{"progress:", "50.0%", "cycles/s", "miss rate 1.00%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("progress line missing %q:\n%s", frag, out)
+		}
+	}
+	// A large spacing suppresses the next line.
+	p.Every = time.Hour
+	p.Tick(20_000, 900, 1_000, 8_000, 80)
+	if p.Lines() != 1 {
+		t.Fatalf("rate limit failed: lines = %d", p.Lines())
+	}
+}
+
+func TestStartPprofLoopbackOnly(t *testing.T) {
+	if _, err := StartPprof("0.0.0.0:0"); err == nil {
+		t.Fatal("StartPprof accepted a non-loopback bind")
+	}
+	if _, err := StartPprof("bogus"); err == nil {
+		t.Fatal("StartPprof accepted an unparsable address")
+	}
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback in this environment: %v", err)
+	}
+	if !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("bound address %q not loopback", addr)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceEventDecode drives the JSONL event decoder with arbitrary
+// input. Properties: the decoder never panics; anything it accepts must
+// re-encode and re-decode to the identical event (round-trip stability),
+// and must carry a valid kind.
+func FuzzTraceEventDecode(f *testing.F) {
+	f.Add([]byte(`{"cycle":100,"kind":"irq","a":2,"b":8800,"note":"timer"}`))
+	f.Add([]byte(`{"cycle":9000,"kind":"region-split","a":4096,"b":32768}`))
+	f.Add([]byte(`{"cycle":0,"kind":"counter-clamp","a":3,"b":18446744073709551615}`))
+	f.Add([]byte(`{"cycle":20000,"kind":"sanitize-sweep","a":64}`))
+	f.Add([]byte(`{"cycle":30000,"kind":"checkpoint","a":123456}`))
+	f.Add([]byte(`{"cycle":1,"kind":"search-round","a":10,"b":2048}`))
+	f.Add([]byte(`{"cycle":1,"kind":"sample","a":3735928559,"b":1}`))
+	f.Add([]byte(`{"kind":"irq"}`))
+	f.Add([]byte(`{"cycle":1,"kind":"no-such-kind"}`))
+	f.Add([]byte(`{"cycle":1,"kind":"irq","extra":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := DecodeEvent(line)
+		if err != nil {
+			return
+		}
+		if !ev.Kind.Valid() {
+			t.Fatalf("decoder accepted invalid kind %d from %q", ev.Kind, line)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []Event{ev}); err != nil {
+			t.Fatalf("accepted event %+v does not re-encode: %v", ev, err)
+		}
+		again, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded event does not decode: %v", err)
+		}
+		if len(again) != 1 || again[0] != ev {
+			t.Fatalf("round trip changed event: %+v -> %+v", ev, again)
+		}
+	})
+}

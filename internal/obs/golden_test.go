@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update (the same pattern as internal/report).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/obs -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+	}
+}
+
+// goldenObs builds a deterministic fixture exercising every instrument
+// class the summary block renders.
+func goldenObs() *Obs {
+	o := New(Options{TraceCap: 16})
+	o.Interrupts.Add(42)
+	o.MissIrqs.Add(30)
+	o.TimerIrqs.Add(12)
+	for _, v := range []uint64{8_800, 8_800, 9_200, 15_000, 120_000} {
+		o.IrqLatency.Observe(v)
+	}
+	o.WindowRefs.Observe(2_000)
+	o.WindowRefs.Observe(2_000_000)
+	o.WindowMisses.Observe(50)
+	o.Batches.Add(1_000)
+	o.BatchRefs.Add(1_024_000)
+	o.Samples.Add(30)
+	o.SamplesMatched.Add(28)
+	o.SearchRounds.Add(12)
+	o.RegionSplits.Add(9)
+	o.CheckpointBytes.Observe(123_456)
+	o.Checkpoints.Inc()
+	o.Runs.Inc()
+	o.Registry.Gauge("sim.last_run_miss_pct").Set(3.25)
+	return o
+}
+
+func TestGoldenMetricsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenObs().Snapshot().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "summary", buf.Bytes())
+}
+
+func TestGoldenEventsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.jsonl", buf.Bytes())
+	// The golden file must itself validate through the decoder.
+	if _, err := ReadJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("golden JSONL does not decode: %v", err)
+	}
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	c1.Inc()
+	c2.Add(2)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	if got := r.Gauge("g").Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	h1 := r.Histogram("h", []uint64{10, 20})
+	h2 := r.Histogram("h", []uint64{99}) // bounds ignored on re-lookup
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{10, 100})
+	for _, v := range []uint64{0, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0+10+11+100+101+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot histograms = %d", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	want := []uint64{2, 2, 2} // <=10, <=100, overflow
+	for i, n := range want {
+		if hv.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hv.Buckets[i], n, hv.Buckets)
+		}
+	}
+	if mean := h.Mean(); mean != float64(h.Sum())/6 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z").Inc()
+	r.Counter("a").Inc()
+	r.Counter("m").Inc()
+	snap := r.Snapshot()
+	names := make([]string, 0, 3)
+	for _, c := range snap.Counters {
+		names = append(names, c.Name)
+	}
+	if strings.Join(names, ",") != "a,m,z" {
+		t.Fatalf("snapshot order %v, want sorted", names)
+	}
+}
+
+func TestWriteSummaryIncludesZeroCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.counter_clamps") // never incremented
+	r.Counter("sim.interrupts").Add(7)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core.counter_clamps") {
+		t.Fatalf("zero counter missing from summary:\n%s", out)
+	}
+	if !strings.Contains(out, "sim.interrupts") || !strings.Contains(out, "7") {
+		t.Fatalf("summary missing counter value:\n%s", out)
+	}
+}
+
+func TestNewObsResolvesInstruments(t *testing.T) {
+	o := New(Options{})
+	if o.Registry == nil || o.Tracer == nil {
+		t.Fatal("New left registry or tracer nil")
+	}
+	o.Interrupts.Inc()
+	if got := o.Registry.Counter("sim.interrupts").Value(); got != 1 {
+		t.Fatalf("pre-resolved counter not registered: %d", got)
+	}
+	mo := New(Options{NoTrace: true})
+	if mo.Tracer != nil {
+		t.Fatal("NoTrace still built a tracer")
+	}
+	mo.Emit(Event{Kind: EvInterrupt}) // must not panic with nil tracer
+	var nilObs *Obs
+	nilObs.Emit(Event{Kind: EvInterrupt}) // nil-receiver safe
+	if s := nilObs.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// StartPprof serves net/http/pprof on addr in a background goroutine and
+// returns the bound address (useful when addr requests port 0). Only
+// loopback binds are accepted: the profiler exposes process internals and
+// must not listen on a routable interface.
+func StartPprof(addr string) (string, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof address %q: %w", addr, err)
+	}
+	if !isLoopbackHost(host) {
+		return "", fmt.Errorf("obs: pprof address %q is not loopback; refusing to listen", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		_ = http.Serve(ln, mux) // lives for the process; errors only at shutdown
+	}()
+	return ln.Addr().String(), nil
+}
+
+// isLoopbackHost reports whether host names a loopback interface.
+func isLoopbackHost(host string) bool {
+	if host == "localhost" || strings.HasSuffix(host, ".localhost") {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress prints a periodic one-line status for a running simulation:
+// percent of the instruction budget completed, simulated cycles per
+// wall-clock second, and the live (since last line) miss rate. It is
+// driven from the machine's step-boundary hook, so it observes only
+// consistent state and never perturbs the simulation: ticks read
+// counters and wall-clock time, nothing else.
+type Progress struct {
+	// W receives the progress lines (normally stderr).
+	W io.Writer
+	// Every is the minimum wall-clock spacing between lines; <= 0 selects
+	// two seconds.
+	Every time.Duration
+
+	started    bool
+	start      time.Time
+	last       time.Time
+	lastCycles uint64
+	lastRefs   uint64
+	lastMisses uint64
+	lines      int
+}
+
+// Tick is called at workload step boundaries with the machine's current
+// counters and the run's instruction budget. It prints at most one line
+// per Every interval.
+func (p *Progress) Tick(cycles, appInsts, budget, refs, misses uint64) {
+	now := time.Now()
+	if !p.started {
+		p.started = true
+		p.start, p.last = now, now
+		p.lastCycles, p.lastRefs, p.lastMisses = cycles, refs, misses
+		return
+	}
+	every := p.Every
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	elapsed := now.Sub(p.last)
+	if elapsed < every {
+		return
+	}
+	cps := float64(cycles-p.lastCycles) / elapsed.Seconds()
+	missPct := 0.0
+	if dr := refs - p.lastRefs; dr > 0 {
+		missPct = 100 * float64(misses-p.lastMisses) / float64(dr)
+	}
+	pctDone := 0.0
+	if budget > 0 {
+		pctDone = 100 * float64(appInsts) / float64(budget)
+		if pctDone > 100 {
+			pctDone = 100
+		}
+	}
+	fmt.Fprintf(p.W, "progress: %5.1f%%  %.4g cycles  %.3g cycles/s  miss rate %.2f%% (window)\n",
+		pctDone, float64(cycles), cps, missPct)
+	p.lines++
+	p.last = now
+	p.lastCycles, p.lastRefs, p.lastMisses = cycles, refs, misses
+}
+
+// Lines returns how many progress lines were printed.
+func (p *Progress) Lines() int { return p.lines }

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind identifies the type of one simulation event.
+type EventKind uint8
+
+const (
+	// EvInterrupt is one delivered PMU interrupt; A is the pmu.IrqKind,
+	// B is the delivery + handler latency in cycles.
+	EvInterrupt EventKind = iota + 1
+	// EvRegionSplit is one n-way-search region split; A is the region's
+	// low address, B the chosen split point.
+	EvRegionSplit
+	// EvCounterClamp records the search discarding an implausible PMU
+	// reading; A is the counter index, B the raw value clamped.
+	EvCounterClamp
+	// EvSanitizeSweep is one full cache-metadata sweep by the invariant
+	// sanitizer; A is the boundary-check ordinal.
+	EvSanitizeSweep
+	// EvCheckpoint is one checkpoint written; A is its size in bytes.
+	EvCheckpoint
+	// EvSearchRound is one completed search measurement interval; A is
+	// the number of regions measured, B the interval's global miss delta.
+	EvSearchRound
+	// EvSample is one miss-address sample; A is the sampled address, B is
+	// 1 when it resolved to a known object.
+	EvSample
+	evKindEnd // sentinel; keep last
+)
+
+// kindNames is the stable wire vocabulary of the JSONL export; the decoder
+// rejects anything else.
+var kindNames = map[EventKind]string{
+	EvInterrupt:     "irq",
+	EvRegionSplit:   "region-split",
+	EvCounterClamp:  "counter-clamp",
+	EvSanitizeSweep: "sanitize-sweep",
+	EvCheckpoint:    "checkpoint",
+	EvSearchRound:   "search-round",
+	EvSample:        "sample",
+}
+
+var kindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func (k EventKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined event kind.
+func (k EventKind) Valid() bool { return k > 0 && k < evKindEnd }
+
+// Event is one typed simulation event with a virtual-cycle timestamp. A
+// and B are kind-specific payloads (documented per kind); Note is an
+// optional short human-readable tag.
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	A     uint64
+	B     uint64
+	Note  string
+}
+
+// Tracer is a bounded ring buffer of events. When full, the oldest events
+// are overwritten; Dropped reports how many were lost. Emit takes a mutex
+// (events are rare on simulation scales — interrupts, splits, sweeps — so
+// contention is negligible even across parallel experiment cells).
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// DefaultTraceCap is the ring capacity used when none is given.
+const DefaultTraceCap = 1 << 16
+
+// NewTracer returns a tracer retaining the most recent capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(ev Event) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many events have been emitted overall.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// jsonEvent is the JSONL wire form of an Event. A and B are omitted when
+// zero; Cycle and Kind are always present.
+type jsonEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	A     uint64 `json:"a,omitempty"`
+	B     uint64 `json:"b,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("obs: cannot encode invalid event kind %d", ev.Kind)
+		}
+		if err := enc.Encode(jsonEvent{Cycle: ev.Cycle, Kind: ev.Kind.String(), A: ev.A, B: ev.B, Note: ev.Note}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeEvent parses one JSONL line into an Event, rejecting unknown kinds
+// and unknown fields. It is the validation path the CI smoke test and the
+// FuzzTraceEventDecode fuzz target drive.
+func DecodeEvent(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var je jsonEvent
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("obs: bad event line: %w", err)
+	}
+	// Exactly one JSON value per line.
+	if dec.More() {
+		return Event{}, fmt.Errorf("obs: trailing data after event object")
+	}
+	kind, ok := kindByName[je.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event kind %q", je.Kind)
+	}
+	return Event{Cycle: je.Cycle, Kind: kind, A: je.A, B: je.B, Note: je.Note}, nil
+}
+
+// ReadJSONL decodes a whole JSONL stream written by WriteJSONL. Blank
+// lines are rejected: a truncated write must not silently validate.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		ev, err := DecodeEvent(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds; one virtual
+// cycle is rendered as one nanosecond, so ts = cycle/1000.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events in the Chrome trace_event JSON format.
+// Interrupts render as complete ("X") slices with their latency as the
+// duration; every other kind renders as a thread-scoped instant event.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	ct := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ns"}
+	for _, ev := range events {
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("obs: cannot encode invalid event kind %d", ev.Kind)
+		}
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			TS:   float64(ev.Cycle) / 1000,
+			PID:  1,
+			TID:  1,
+			Args: map[string]any{"cycle": ev.Cycle, "a": ev.A, "b": ev.B},
+		}
+		if ev.Note != "" {
+			ce.Args["note"] = ev.Note
+		}
+		if ev.Kind == EvInterrupt {
+			ce.Phase = "X"
+			ce.Dur = float64(ev.B) / 1000
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Cycle: 100, Kind: EvInterrupt, A: 2, B: 8_800, Note: "timer"},
+		{Cycle: 9_000, Kind: EvRegionSplit, A: 0x1000, B: 0x8000},
+		{Cycle: 9_500, Kind: EvCounterClamp, A: 3, B: ^uint64(0)},
+		{Cycle: 20_000, Kind: EvSanitizeSweep, A: 64},
+		{Cycle: 30_000, Kind: EvCheckpoint, A: 123_456},
+		{Cycle: 40_000, Kind: EvSearchRound, A: 10, B: 2_048},
+		{Cycle: 50_000, Kind: EvSample, A: 0xdeadbeef, B: 1},
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: EvInterrupt})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != uint64(6+i) {
+			t.Fatalf("event %d cycle = %d, want %d (not oldest-first)", i, ev.Cycle, 6+i)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeEventRejectsGarbage(t *testing.T) {
+	bad := []string{
+		``,
+		`not json`,
+		`{"cycle":1,"kind":"no-such-kind"}`,
+		`{"cycle":1,"kind":"irq","extra":true}`,
+		`{"cycle":1,"kind":"irq"}{"cycle":2,"kind":"irq"}`,
+		`{"cycle":-1,"kind":"irq"}`,
+		`[1,2,3]`,
+	}
+	for _, line := range bad {
+		if _, err := DecodeEvent([]byte(line)); err == nil {
+			t.Fatalf("DecodeEvent accepted %q", line)
+		}
+	}
+}
+
+func TestWriteJSONLRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []Event{{Kind: 0}}); err == nil {
+		t.Fatal("WriteJSONL accepted kind 0")
+	}
+	if err := WriteChromeTrace(&buf, []Event{{Kind: 200}}); err == nil {
+		t.Fatal("WriteChromeTrace accepted kind 200")
+	}
+}
+
+// TestChromeTraceShape checks the trace_event structural contract that
+// chrome://tracing requires: a traceEvents array whose entries carry
+// name/ph/ts/pid/tid, with interrupts as complete slices.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(sampleEvents()) {
+		t.Fatalf("traceEvents = %d entries, want %d", len(doc.TraceEvents), len(sampleEvents()))
+	}
+	for i, ce := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ce[key]; !ok {
+				t.Fatalf("entry %d missing %q: %v", i, key, ce)
+			}
+		}
+	}
+	first := doc.TraceEvents[0]
+	if first["ph"] != "X" {
+		t.Fatalf("interrupt should be a complete slice, got ph=%v", first["ph"])
+	}
+	if _, ok := first["dur"]; !ok {
+		t.Fatal("interrupt slice missing dur")
+	}
+	if doc.TraceEvents[1]["ph"] != "i" {
+		t.Fatalf("non-interrupt should be instant, got ph=%v", doc.TraceEvents[1]["ph"])
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvInterrupt; k < evKindEnd; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "unknown") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if kindByName[name] != k {
+			t.Fatalf("kind %d does not round-trip through %q", k, name)
+		}
+	}
+	if EventKind(0).Valid() || evKindEnd.Valid() {
+		t.Fatal("invalid kinds reported valid")
+	}
+}

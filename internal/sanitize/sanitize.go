@@ -21,6 +21,7 @@ import (
 	"membottle/internal/cache"
 	"membottle/internal/machine"
 	"membottle/internal/mem"
+	"membottle/internal/obs"
 	"membottle/internal/truth"
 )
 
@@ -204,6 +205,10 @@ func (c *Checker) check(fullSweep bool) error {
 	}
 
 	if fullSweep {
+		if o := m.Obs; o != nil {
+			o.SanitizeSweeps.Inc()
+			o.Emit(obs.Event{Cycle: m.Cycles, Kind: obs.EvSanitizeSweep, A: c.boundaries})
+		}
 		if err := c.sweep(); err != nil {
 			c.violations++
 			return err

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"membottle/internal/cache"
 	"membottle/internal/checkpoint"
@@ -41,6 +42,7 @@ import (
 	"membottle/internal/machine"
 	"membottle/internal/mem"
 	"membottle/internal/objmap"
+	"membottle/internal/obs"
 	"membottle/internal/pmu"
 	"membottle/internal/sanitize"
 	"membottle/internal/trace"
@@ -102,6 +104,15 @@ type (
 	// CancelledError reports a run stopped by context cancellation or a
 	// StopCycles limit, carrying the progress made.
 	CancelledError = machine.CancelledError
+	// Obs is the observability bundle (metrics registry + event tracer)
+	// attached via Config.Obs; see internal/obs.
+	Obs = obs.Obs
+	// ObsOptions configures NewObs.
+	ObsOptions = obs.Options
+	// TraceEvent is one entry in the observability event trace.
+	TraceEvent = obs.Event
+	// MetricsSnapshot is a point-in-time copy of the metrics registry.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Sentinel errors, matched with errors.Is.
@@ -138,6 +149,11 @@ const (
 	IntervalPrime  = core.IntervalPrime
 	IntervalRandom = core.IntervalRandom
 )
+
+// NewObs constructs an observability bundle for Config.Obs. One bundle
+// may be shared by several systems (parallel experiment cells); all
+// recording is concurrency-safe.
+func NewObs(opt ObsOptions) *Obs { return obs.New(opt) }
 
 // NewSampler constructs a sampling profiler.
 func NewSampler(cfg SamplerConfig) *Sampler { return core.NewSampler(cfg) }
@@ -190,6 +206,12 @@ type Config struct {
 	// corrupted trace batches. Profilers must survive with degraded
 	// estimates; the sanitizer's simulator invariants still hold.
 	Faults *FaultConfig
+	// Obs, if non-nil, attaches passive observability: metrics counters,
+	// latency histograms, and a bounded event trace. Recording never
+	// mutates simulation state, so runs with and without Obs produce
+	// bit-identical results; with Obs nil the batched hot path pays one
+	// nil check per batch.
+	Obs *Obs
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -209,12 +231,13 @@ type System struct {
 	// Truth is exact per-object accounting, nil if SkipTruth was set.
 	Truth *GroundTruth
 
-	cfg      Config
-	appName  string
-	workload Workload
-	profiler Profiler
-	injector *faults.Injector
-	checker  *sanitize.Checker
+	cfg        Config
+	appName    string
+	workload   Workload
+	profiler   Profiler
+	injector   *faults.Injector
+	checker    *sanitize.Checker
+	obsFlushed bool
 }
 
 // NewSystem builds an empty simulated system.
@@ -237,6 +260,7 @@ func NewSystem(cfg Config) *System {
 	}
 	m := machine.New(space, c, p, cfg.Costs)
 	m.Scalar = cfg.ScalarRefs
+	m.Obs = cfg.Obs
 	om := objmap.New(space)
 	om.BindSpace(space)
 	sys := &System{Machine: m, Objects: om, cfg: cfg}
@@ -394,7 +418,29 @@ func (s *System) Checkpoint(w io.Writer) error {
 		}
 		snap.Profiler = &checkpoint.Opaque{Name: fmt.Sprintf("%T", s.profiler), Data: pdata}
 	}
+	if o := s.Machine.Obs; o != nil {
+		cw := &countingWriter{w: w}
+		if err := checkpoint.Write(cw, snap); err != nil {
+			return err
+		}
+		o.Checkpoints.Inc()
+		o.CheckpointBytes.Observe(cw.n)
+		o.Emit(obs.Event{Cycle: s.Machine.Cycles, Kind: obs.EvCheckpoint, A: cw.n})
+		return nil
+	}
 	return checkpoint.Write(w, snap)
+}
+
+// countingWriter tallies bytes for the checkpoint-size histogram.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
 }
 
 // Restore resumes a snapshot written by Checkpoint. The receiving system
@@ -511,4 +557,57 @@ func (s *System) Overhead() Overhead {
 		TotalMisses:     s.Machine.Cache.Stats.Misses,
 		AppInstructions: s.Machine.AppInsts,
 	}
+}
+
+// FlushObs records the run's end-of-run totals into the attached
+// observability registry: cycle and instruction counters, cache and PMU
+// totals, fault and sanitizer tallies, and a final miss-rate gauge.
+// Idempotent per system — a second call is a no-op — and a no-op when no
+// Obs is configured. Call it after Run/RunContext completes.
+func (s *System) FlushObs() {
+	o := s.Machine.Obs
+	if o == nil || s.obsFlushed {
+		return
+	}
+	s.obsFlushed = true
+	m := s.Machine
+	r := o.Registry
+	r.Counter("sim.cycles").Add(m.Cycles)
+	r.Counter("sim.insts").Add(m.Insts)
+	r.Counter("sim.app_insts").Add(m.AppInsts)
+	r.Counter("sim.handler_cycles").Add(m.HandlerCycles)
+	st := m.Cache.Stats
+	r.Counter("cache.refs").Add(st.Accesses())
+	r.Counter("cache.misses").Add(st.Misses)
+	r.Counter("pmu.global_misses").Add(m.PMU.GlobalMisses)
+	if fs := s.FaultStats(); fs != nil {
+		o.FaultsInjected.Add(fs.Total())
+	}
+	if b, v := s.SanitizeReport(); b > 0 || v > 0 {
+		r.Counter("sanitize.boundaries").Add(b)
+		r.Counter("sanitize.violations").Add(v)
+	}
+	if refs := st.Accesses(); refs > 0 {
+		r.Gauge("sim.last_run_miss_pct").Set(100 * float64(st.Misses) / float64(refs))
+	}
+	o.Runs.Inc()
+}
+
+// AttachProgress installs a periodic progress line driven by the
+// machine's step-boundary hook: percent of budget completed, cycle count,
+// wall-clock simulation rate, and the live miss rate since the previous
+// line. Output is wall-clock rate-limited to one line per `every` and
+// written outside the simulation, so it cannot perturb determinism.
+// Chains any existing OnStep hook. Returns the Progress for line counts.
+func (s *System) AttachProgress(w io.Writer, every time.Duration, budget uint64) *obs.Progress {
+	p := &obs.Progress{W: w, Every: every}
+	prev := s.Machine.OnStep
+	s.Machine.OnStep = func(m *machine.Machine) {
+		if prev != nil {
+			prev(m)
+		}
+		st := m.Cache.Stats
+		p.Tick(m.Cycles, m.AppInsts, budget, st.Accesses(), st.Misses)
+	}
+	return p
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package membottle_test
+
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package membottle_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Timing assertions are skipped under the race detector: its
+// instrumentation slows the two sides unevenly, so wall-clock ratios
+// stop meaning anything.
+const raceDetectorEnabled = true
