@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"membottle"
+	"membottle/internal/shard"
 	"membottle/internal/trace"
 )
 
@@ -68,6 +69,8 @@ func main() {
 		appsArg = flag.String("apps", "", "comma-separated workload subset (default: the paper's seven, or three with -quick)")
 		reps    = flag.Int("reps", 3, "repetitions per configuration; the fastest is reported")
 		obsAB   = flag.Bool("obs", false, "measure observability overhead instead: batched engine with obs off vs on")
+		truthAB = flag.Bool("truth", false, "measure the sharded ground-truth engine instead: sequential vs set-sharded across a worker sweep")
+		minSpd  = flag.Float64("min-speedup", 0, "with -truth: exit nonzero unless the aggregate speedup at the widest worker count reaches this floor (CI gate on multi-core runners)")
 	)
 	flag.Parse()
 
@@ -91,6 +94,10 @@ func main() {
 
 	if *obsAB {
 		runObsBench(apps, b, *reps, *outDir)
+		return
+	}
+	if *truthAB {
+		runTruthBench(apps, b, *reps, *outDir, *minSpd)
 		return
 	}
 
@@ -134,15 +141,26 @@ func main() {
 }
 
 // measurePair runs one configuration in both modes and cross-checks
-// them; run receives true for modes[0]. The two modes alternate within
-// each repetition, and each mode's fastest repetition is reported:
-// alternation exposes both modes to the same load windows on a shared
-// host, and the minimum discards repetitions that lost the CPU entirely.
+// them; run receives true for modes[0].
 func measurePair(workload, app string, reps int, modeNames [2]string, run func(app string, first bool) (uint64, error)) ([]Result, error) {
+	return measureModes(workload, app, reps, modeNames[:], func(app, mode string) (uint64, error) {
+		return run(app, mode == modeNames[0])
+	})
+}
+
+// measureModes runs one configuration in every mode and cross-checks
+// them; modes[0] is the baseline the others' speedups are computed
+// against. The modes alternate within each repetition, and each mode's
+// fastest repetition is reported: alternation exposes all modes to the
+// same load windows on a shared host, and the minimum discards
+// repetitions that lost the CPU entirely. Every mode must issue the
+// identical number of references across repetitions and across modes
+// (the engines are bit-identical by construction; this is a tripwire,
+// not a tolerance).
+func measureModes(workload, app string, reps int, modes []string, run func(app, mode string) (uint64, error)) ([]Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	modes := modeNames[:]
 	refsSeen := make([]uint64, len(modes))
 	wallNs := make([]int64, len(modes))
 	allocs := make([]uint64, len(modes))
@@ -151,7 +169,7 @@ func measurePair(workload, app string, reps int, modeNames [2]string, run func(a
 			var repRefs uint64
 			var err error
 			repNs, repAllocs := measure(func() {
-				repRefs, err = run(app, mode == modes[0])
+				repRefs, err = run(app, mode)
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s (%s): %w", workload, app, mode, err)
@@ -175,15 +193,86 @@ func measurePair(workload, app string, reps int, modeNames [2]string, run func(a
 			RefsPerSec: float64(refsSeen[mi]) / (float64(wallNs[mi]) / 1e9),
 		})
 	}
-	if out[0].Refs != out[1].Refs {
-		return nil, fmt.Errorf("%s/%s: %s issued %d refs, %s %d — runs diverged",
-			workload, app, modes[0], out[0].Refs, modes[1], out[1].Refs)
+	line := fmt.Sprintf("%-8s %-9s %12d refs", workload, app, out[0].Refs)
+	for mi := range out {
+		if out[mi].Refs != out[0].Refs {
+			return nil, fmt.Errorf("%s/%s: %s issued %d refs, %s %d — runs diverged",
+				workload, app, modes[0], out[0].Refs, modes[mi], out[mi].Refs)
+		}
+		line += fmt.Sprintf("  %s %6.2f ns/ref", modes[mi], out[mi].NsPerRef)
+		if mi > 0 {
+			out[mi].SpeedupVsScalar = float64(out[0].WallNs) / float64(out[mi].WallNs)
+		}
 	}
-	speedup := float64(out[0].WallNs) / float64(out[1].WallNs)
-	out[1].SpeedupVsScalar = speedup
-	fmt.Printf("%-8s %-9s %12d refs  %s %6.2f ns/ref  %s %6.2f ns/ref  ratio %.2fx\n",
-		workload, app, out[0].Refs, modes[0], out[0].NsPerRef, modes[1], out[1].NsPerRef, speedup)
+	fmt.Printf("%s  ratio %.2fx\n", line, float64(out[0].WallNs)/float64(out[len(out)-1].WallNs))
 	return out, nil
+}
+
+// runTruthBench is the -truth mode: the same uninstrumented ground-truth
+// runs as the table1 family, A/B-ing the sequential engine against the
+// set-sharded parallel engine across a worker sweep (1, 2, 4, NumCPU).
+// All modes issue identical reference streams and produce bit-identical
+// truth (the shard differential tests enforce it), so the only variable
+// is wall-clock time. The aggregate speedup compares the sequential
+// total against the widest worker count; -min-speedup turns it into a
+// CI gate.
+func runTruthBench(apps []string, budget uint64, reps int, outDir string, minSpeedup float64) {
+	workerSweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerSweep = append(workerSweep, n)
+	}
+	modes := []string{"seq"}
+	workersOf := map[string]int{}
+	for _, w := range workerSweep {
+		mode := fmt.Sprintf("shard-w%d", w)
+		modes = append(modes, mode)
+		workersOf[mode] = w
+	}
+	run := func(app, mode string) (uint64, error) {
+		if mode == "seq" {
+			return runPlain(app, false, budget)
+		}
+		w, err := membottle.NewWorkload(app)
+		if err != nil {
+			return 0, err
+		}
+		res, err := shard.Run(nil, w, budget, shard.Config{Workers: workersOf[mode]})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.Accesses(), nil
+	}
+
+	file := File{Workload: "truth", Budget: budget}
+	totals := make(map[string]int64)
+	for _, app := range apps {
+		rs, err := measureModes("truth", app, reps, modes, run)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rs {
+			totals[r.Mode] += r.WallNs
+		}
+		file.Results = append(file.Results, rs...)
+	}
+	widest := modes[len(modes)-1]
+	file.AggregateSpeedup = float64(totals["seq"]) / float64(totals[widest])
+	fmt.Printf("%-8s aggregate: seq %v, %s %v, speedup %.2fx (NumCPU=%d)\n",
+		"truth", time.Duration(totals["seq"]), widest, time.Duration(totals[widest]),
+		file.AggregateSpeedup, runtime.NumCPU())
+	path := filepath.Join(outDir, "BENCH_truth.json")
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if minSpeedup > 0 && file.AggregateSpeedup < minSpeedup {
+		fatal(fmt.Errorf("aggregate truth speedup %.2fx below the %.2fx floor (%s vs seq)",
+			file.AggregateSpeedup, minSpeedup, widest))
+	}
 }
 
 // runObsBench is the -obs mode: both sides run the batched engine; the

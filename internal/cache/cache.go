@@ -202,11 +202,26 @@ type State struct {
 
 // State captures the cache's current contents and statistics.
 func (c *Cache) State() State {
-	ws := make([]WayState, len(c.ways))
-	for i, w := range c.ways {
-		ws[i] = WayState{Tag: w.tag, Stamp: w.stamp}
+	var s State
+	c.StateInto(&s)
+	return s
+}
+
+// StateInto captures the cache's current contents and statistics into s,
+// reusing its Ways buffer when capacity allows. Periodic checkpoint
+// writers hold one State and refill it on every snapshot, so the
+// per-checkpoint way copy (32K entries for the paper's 2 MB geometry)
+// stops allocating after the first write.
+func (c *Cache) StateInto(s *State) {
+	if cap(s.Ways) < len(c.ways) {
+		s.Ways = make([]WayState, len(c.ways))
 	}
-	return State{Clock: c.clock, Stats: c.Stats, Ways: ws}
+	s.Ways = s.Ways[:len(c.ways)]
+	for i, w := range c.ways {
+		s.Ways[i] = WayState{Tag: w.tag, Stamp: w.stamp}
+	}
+	s.Clock = c.clock
+	s.Stats = c.Stats
 }
 
 // SetState restores a snapshot taken by State. The cache must have the

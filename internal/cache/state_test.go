@@ -1,0 +1,36 @@
+package cache
+
+import (
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+// TestStateIntoReusesBuffer verifies the checkpoint-path allocation fix:
+// refilling a State of the same geometry must reuse its Ways buffer
+// instead of allocating a fresh 32K-entry copy per snapshot.
+func TestStateIntoReusesBuffer(t *testing.T) {
+	c := New(Config{Size: 1 << 16, LineSize: 64, Assoc: 4})
+	for i := 0; i < 100; i++ {
+		c.Access(mem.Addr(i*64), i%3 == 0)
+	}
+	var s State
+	c.StateInto(&s)
+	first := &s.Ways[0]
+	c.Access(0x1234, true)
+	c.StateInto(&s)
+	if &s.Ways[0] != first {
+		t.Fatalf("StateInto reallocated the Ways buffer on refill")
+	}
+	if allocs := testing.AllocsPerRun(10, func() { c.StateInto(&s) }); allocs > 0 {
+		t.Fatalf("StateInto allocates %v times per refill, want 0", allocs)
+	}
+	// The refilled snapshot must still restore exactly.
+	c2 := New(c.Config())
+	if err := c2.SetState(s); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats != c.Stats || c2.clock != c.clock {
+		t.Fatalf("restored cache diverges: %+v vs %+v", c2.Stats, c.Stats)
+	}
+}

@@ -74,6 +74,22 @@ type Options struct {
 	// every run the experiment performs (parallel cells record into it
 	// concurrently) and flushes each run's totals into its registry.
 	Obs *membottle.Obs
+	// SeqTruth forces uninstrumented ("plain") ground-truth runs onto the
+	// sequential engine instead of the set-sharded parallel one. Output
+	// is byte-identical either way (the shard differential tests enforce
+	// it); the sequential engine is the oracle baseline and what
+	// cmd/mbbench -truth measures speedups against.
+	SeqTruth bool
+	// TruthWorkers is the worker count for the sharded ground-truth
+	// engine; 0 selects GOMAXPROCS. Ignored when SeqTruth is set.
+	TruthWorkers int
+	// TruthCache, when non-nil, memoizes plain ground-truth runs across
+	// the experiments of one invocation, keyed by application, budget,
+	// and cache geometry: Table 1, Table 2, Figure 2, and the ablations
+	// all need the same baseline runs, so each is simulated once.
+	// Bypassed when fault injection is enabled (faults make run outcomes
+	// attempt-dependent).
+	TruthCache *TruthCache
 
 	// attempt is the current retry attempt for the cell being run; set
 	// by forEachApp, it re-salts the fault injector's seed.

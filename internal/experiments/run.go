@@ -7,6 +7,7 @@ import (
 
 	"membottle"
 	"membottle/internal/core"
+	"membottle/internal/shard"
 	"membottle/internal/truth"
 )
 
@@ -41,8 +42,50 @@ func superviseRun(opt Options, sys *membottle.System, app string, budget uint64)
 }
 
 // runPlain executes a workload uninstrumented and returns ground truth
-// plus the run's overhead-free statistics.
+// plus the run's overhead-free statistics. Plain runs are served by the
+// set-sharded parallel engine whenever the options permit (no scalar
+// oracle, no sanitizer, no fault injection), falling back to the
+// sequential engine otherwise or when the workload is outside the
+// sharded engine's static preconditions; results are byte-identical
+// either way. With a TruthCache attached, identical baseline runs are
+// simulated once per invocation and shared.
 func runPlain(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
+	if opt.TruthCache != nil && opt.Faults == nil {
+		return opt.TruthCache.get(opt, app, budget)
+	}
+	return runPlainUncached(opt, app, budget)
+}
+
+// shardEligible reports whether plain runs may use the sharded engine:
+// the scalar flag pins runs to the trusted per-reference baseline, the
+// sanitizer needs the machine's own cache and interrupt boundaries, and
+// fault injection wires into the sequential system's PMU.
+func shardEligible(opt Options) bool {
+	return !opt.SeqTruth && !opt.Scalar && !opt.Sanitize && opt.Faults == nil
+}
+
+func runPlainUncached(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
+	if shardEligible(opt) {
+		w, err := membottle.NewWorkload(app)
+		if err != nil {
+			return nil, membottle.Overhead{}, err
+		}
+		res, err := shard.Run(opt.Ctx, w, budget, shard.Config{
+			Workers: opt.TruthWorkers,
+			Obs:     opt.Obs,
+		})
+		if err == nil {
+			ov := membottle.Overhead{
+				TotalCycles:     res.Cycles,
+				TotalMisses:     res.Stats.Misses,
+				AppInstructions: res.AppInsts,
+			}
+			return res.Truth, ov, nil
+		}
+		if !errors.Is(err, shard.ErrFallback) {
+			return nil, membottle.Overhead{}, err
+		}
+	}
 	sys := newSystem(opt)
 	if err := sys.LoadWorkloadByName(app); err != nil {
 		return nil, membottle.Overhead{}, err

@@ -1,0 +1,107 @@
+package machine
+
+import "membottle/internal/mem"
+
+// Capture mode: the machine executes a workload's instruction stream —
+// charging base costs (hit cycles, compute CPI, allocator costs) to the
+// virtual clock and counting instructions exactly as a live run would —
+// but routes every memory reference to a RefSink instead of the cache.
+// This is the single-pass trace capture of the sharded ground-truth
+// engine: cache outcomes never influence an uninstrumented workload's
+// reference stream (workloads branch on instruction budgets, not on
+// cycles), so the stream can be captured once at near-memcpy speed and
+// simulated set-by-set in parallel afterwards.
+
+// RefSink consumes the application reference stream in capture mode.
+type RefSink interface {
+	// ConsumeRefs receives the next consecutive slice of the reference
+	// stream together with the machine's virtual cycle count immediately
+	// before the first reference in the slice. Reconstructing per-reference
+	// cycle counts is pure arithmetic from there: each reference adds
+	// HitCycles, then its Compute payload times ComputeCPI — identical to
+	// the machine's own eager charging. The slice is reused by the machine;
+	// implementations must copy what they keep before returning.
+	ConsumeRefs(refs []Ref, cyclesBefore uint64)
+}
+
+// SetCapture switches the machine into (or out of, with nil) capture
+// mode. Capture mode is only meaningful for uninstrumented runs: no
+// cache is simulated, so no misses occur, no PMU events fire, and the
+// OnMiss/OnRef/OnAccess observers are never invoked. Call FlushCapture
+// when the run completes to deliver any buffered scalar references.
+func (m *Machine) SetCapture(s RefSink) {
+	m.capture = s
+	if s != nil && m.capBuf == nil {
+		m.capBuf = make([]Ref, 0, batchChunk)
+	}
+}
+
+// FlushCapture delivers any scalar references still buffered in capture
+// mode. A no-op outside capture mode.
+func (m *Machine) FlushCapture() {
+	if m.capture != nil {
+		m.flushCapBuf()
+	}
+}
+
+// captureRef is the capture-mode scalar path: charge the base cost, then
+// buffer the reference so that intervening Compute calls can fold into
+// its payload (preserving the Ref stream's "compute follows reference"
+// shape without a sink call per reference).
+func (m *Machine) captureRef(a mem.Addr, write bool) {
+	if m.stopErr != nil {
+		return
+	}
+	m.Insts++
+	if !m.inHandler {
+		m.AppInsts++
+	}
+	if len(m.capBuf) == 0 {
+		m.capCyc0 = m.Cycles
+	}
+	m.Cycles += m.Cost.HitCycles
+	m.capBuf = append(m.capBuf, Ref{Addr: a, Write: write})
+	if len(m.capBuf) == cap(m.capBuf) {
+		m.flushCapBuf()
+	}
+	if m.runCtx != nil {
+		if m.pollIn--; m.pollIn <= 0 {
+			m.pollCtx()
+		}
+	}
+}
+
+// captureBatch is the capture-mode batched path: one pass sums the
+// compute payloads for the clock, then the whole slice goes to the sink.
+func (m *Machine) captureBatch(refs []Ref) {
+	if m.stopErr != nil || len(refs) == 0 {
+		return
+	}
+	m.flushCapBuf()
+	cyc0 := m.Cycles
+	var compute uint64
+	for i := range refs {
+		compute += refs[i].Compute
+	}
+	insts := uint64(len(refs)) + compute
+	m.Insts += insts
+	if !m.inHandler {
+		m.AppInsts += insts
+	}
+	m.Cycles += uint64(len(refs))*m.Cost.HitCycles + compute*m.Cost.ComputeCPI
+	m.capture.ConsumeRefs(refs, cyc0)
+	if m.runCtx != nil {
+		m.pollIn -= len(refs)
+		if m.pollIn <= 0 {
+			m.pollCtx()
+		}
+	}
+}
+
+func (m *Machine) flushCapBuf() {
+	if len(m.capBuf) == 0 {
+		return
+	}
+	m.capture.ConsumeRefs(m.capBuf, m.capCyc0)
+	m.capBuf = m.capBuf[:0]
+}

@@ -136,6 +136,14 @@ type Machine struct {
 	inHandler bool
 	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
 
+	// Capture mode (see capture.go): when capture is non-nil every
+	// reference bypasses the cache and flows to the sink instead; capBuf
+	// stages scalar references so trailing Compute calls can fold into
+	// their payloads, and capCyc0 is the cycle count before capBuf[0].
+	capture RefSink
+	capBuf  []Ref
+	capCyc0 uint64
+
 	// obsWinRefs/obsWinMisses mark the cache stats at the previous
 	// interrupt delivery, so deliver() can record per-window totals.
 	// Observational only: deliberately excluded from State so checkpoints
@@ -167,6 +175,10 @@ func (m *Machine) Load(a mem.Addr) { m.access(a, false) }
 func (m *Machine) Store(a mem.Addr) { m.access(a, true) }
 
 func (m *Machine) access(a mem.Addr, write bool) {
+	if m.capture != nil {
+		m.captureRef(a, write)
+		return
+	}
 	if m.stopErr != nil {
 		return
 	}
@@ -210,6 +222,15 @@ func (m *Machine) Compute(n uint64) {
 		m.AppInsts += n
 	}
 	m.Cycles += n * m.Cost.ComputeCPI
+	if m.capture != nil {
+		// Fold into the pending reference's payload so the sink sees the
+		// same Ref stream an AccessBatch caller would have produced; the
+		// clock and instruction counters were already charged above.
+		if len(m.capBuf) > 0 {
+			m.capBuf[len(m.capBuf)-1].Compute += n
+		}
+		return
+	}
 	m.PMU.TickCycles(m.Cycles)
 	if !m.inHandler && m.PMU.HasPending() {
 		m.deliver()
@@ -450,6 +471,10 @@ const batchChunk = 1024
 // deadlines, timeshare rotations), so interrupt delivery points, cycle
 // counts, and cache state stay bit-identical to scalar execution.
 func (m *Machine) AccessBatch(refs []Ref) {
+	if m.capture != nil {
+		m.captureBatch(refs)
+		return
+	}
 	if m.Scalar || m.OnRef != nil || m.OnAccess != nil {
 		m.scalarRefs(refs)
 		return

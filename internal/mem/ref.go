@@ -15,3 +15,20 @@ type Ref struct {
 	// exactly as a scalar Compute call following the reference would.
 	Compute uint64
 }
+
+// PackRef compresses a reference to one word for shard trace buffers:
+// the address shifted left once with the write flag in the low bit.
+// Simulated addresses top out below 2^40 (the shadow segment limit), so
+// the shift never loses bits.
+func PackRef(a Addr, write bool) uint64 {
+	p := uint64(a) << 1
+	if write {
+		p |= 1
+	}
+	return p
+}
+
+// UnpackRef reverses PackRef.
+func UnpackRef(p uint64) (Addr, bool) {
+	return Addr(p >> 1), p&1 != 0
+}

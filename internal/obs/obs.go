@@ -40,6 +40,13 @@ type Obs struct {
 	CheckpointBytes *Histogram // checkpoint.bytes
 	FaultsInjected  *Counter   // faults.injected: faults delivered across runs
 	Runs            *Counter   // sim.runs: systems flushed into this registry
+
+	// Sharded ground-truth engine instruments.
+	ShardRuns        *Counter   // shard.runs: plain runs served by the sharded engine
+	ShardFallbacks   *Counter   // shard.fallbacks: runs that fell back to sequential
+	ShardChunks      *Counter   // shard.chunks: trace chunks streamed to workers
+	ShardWorkerRefs  *Histogram // shard.worker_refs: references replayed per worker
+	ShardWorkerMiss  *Histogram // shard.worker_misses: misses attributed per worker
 }
 
 // Options configures New.
@@ -85,6 +92,11 @@ func New(opt Options) *Obs {
 	o.CheckpointBytes = r.Histogram("checkpoint.bytes", CheckpointBuckets)
 	o.FaultsInjected = r.Counter("faults.injected")
 	o.Runs = r.Counter("sim.runs")
+	o.ShardRuns = r.Counter("shard.runs")
+	o.ShardFallbacks = r.Counter("shard.fallbacks")
+	o.ShardChunks = r.Counter("shard.chunks")
+	o.ShardWorkerRefs = r.Histogram("shard.worker_refs", WindowBuckets)
+	o.ShardWorkerMiss = r.Histogram("shard.worker_misses", WindowBuckets)
 	return o
 }
 

@@ -1,0 +1,62 @@
+package truth
+
+import (
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+// TestStateIntoReusesBuffer verifies the checkpoint-path allocation fix:
+// refilling a State must reuse its Counts buffer once it has grown to
+// the object population.
+func TestStateIntoReusesBuffer(t *testing.T) {
+	m, _, c, a, b := rig()
+	for i := 0; i < 64; i++ {
+		m.Load(a + mem.Addr(i*64))
+		m.Load(b + mem.Addr((i%16)*64))
+	}
+	var s State
+	if err := c.StateInto(&s); err != nil {
+		t.Fatal(err)
+	}
+	first := &s.Counts[0]
+	m.Load(a)
+	if err := c.StateInto(&s); err != nil {
+		t.Fatal(err)
+	}
+	if &s.Counts[0] != first {
+		t.Fatalf("StateInto reallocated the Counts buffer on refill")
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if err := c.StateInto(&s); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("StateInto allocates %v times per refill, want 0", allocs)
+	}
+	if s.Total != c.Total || s.Unmatched != c.Unmatched {
+		t.Fatalf("refilled snapshot diverges: %+v", s)
+	}
+}
+
+// TestMergePartials checks the shard-merge arithmetic directly: trailing
+// zeros are trimmed to match the sequential lazily-grown counts slice,
+// and totals sum across partials.
+func TestMergePartials(t *testing.T) {
+	_, om, _, _, _ := rig()
+	c := NewCounter(om)
+	c.Merge(
+		Partial{Counts: []uint64{3, 0, 0, 0}, Total: 4, Unmatched: 1},
+		Partial{Counts: []uint64{1, 2}, Total: 3, Unmatched: 0},
+		Partial{Counts: nil, Total: 2, Unmatched: 2},
+	)
+	if c.Total != 9 || c.Unmatched != 3 {
+		t.Fatalf("totals: got total=%d unmatched=%d", c.Total, c.Unmatched)
+	}
+	if len(c.counts) != 2 {
+		t.Fatalf("counts length %d, want 2 (trailing zeros trimmed)", len(c.counts))
+	}
+	if c.counts[0] != 4 || c.counts[1] != 2 {
+		t.Fatalf("counts: got %v", c.counts)
+	}
+}

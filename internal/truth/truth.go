@@ -44,6 +44,15 @@ type Counter struct {
 	buckets      []map[int]uint64
 }
 
+// NewCounter builds a detached counter over the given object map, not
+// observing any machine. The sharded ground-truth engine uses detached
+// counters as merge targets: shard workers accumulate Partial tallies and
+// Merge folds them in, producing output identical to a Counter that
+// observed the same run through a machine's OnMiss hook.
+func NewCounter(om *objmap.Map) *Counter {
+	return &Counter{om: om}
+}
+
 // Attach installs the counter on the machine, chaining any existing
 // OnMiss observer.
 func Attach(m *machine.Machine, om *objmap.Map) *Counter {
@@ -151,6 +160,61 @@ func (c *Counter) Series(name string) []uint64 {
 // Buckets returns the number of time buckets recorded.
 func (c *Counter) Buckets() int { return len(c.buckets) }
 
+// --- shard merging --------------------------------------------------------
+
+// Partial is one shard's ground-truth contribution: per-object miss
+// tallies indexed by dense object ID, plus the shard's total and
+// unmatched miss counts. Shard workers fill Partials independently and
+// the merge step folds them into one Counter.
+type Partial struct {
+	Counts    []uint64
+	Total     uint64
+	Unmatched uint64
+}
+
+// Merge folds shard partials into the counter. Per-set LRU simulation is
+// exactly decomposable, so summed per-object counts equal the sequential
+// engine's; the counts slice is trimmed to the highest object ID actually
+// missed, matching the lazily grown slice the OnMiss hook would have
+// produced (State/Ranked output stays byte-identical).
+func (c *Counter) Merge(parts ...Partial) {
+	maxLen := len(c.counts)
+	for _, p := range parts {
+		n := len(p.Counts)
+		for n > 0 && p.Counts[n-1] == 0 {
+			n--
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	for len(c.counts) < maxLen {
+		c.counts = append(c.counts, 0)
+	}
+	for _, p := range parts {
+		for id, n := range p.Counts {
+			if id < maxLen {
+				c.counts[id] += n
+			}
+		}
+		c.Total += p.Total
+		c.Unmatched += p.Unmatched
+	}
+}
+
+// RecordBucketMiss appends one object-attributed miss to the time-series
+// buckets (Figure 5 support for the sharded engine). Callers must deliver
+// misses in global reference order with the bucket index the sequential
+// engine would have computed (virtual cycles at the miss divided by
+// BucketCycles); unmatched misses are not bucketed, mirroring the OnMiss
+// hook.
+func (c *Counter) RecordBucketMiss(bucket int, objID int) {
+	for len(c.buckets) <= bucket {
+		c.buckets = append(c.buckets, make(map[int]uint64))
+	}
+	c.buckets[bucket][objID]++
+}
+
 // --- checkpoint state ----------------------------------------------------
 
 // State is the counter's serializable snapshot. Time-series bucket
@@ -164,14 +228,25 @@ type State struct {
 
 // State captures the counter's current totals.
 func (c *Counter) State() (State, error) {
-	if c.BucketCycles != 0 {
-		return State{}, fmt.Errorf("truth: time-series bucket recording is not checkpointable")
+	var s State
+	if err := c.StateInto(&s); err != nil {
+		return State{}, err
 	}
-	return State{
-		Counts:    append([]uint64(nil), c.counts...),
-		Total:     c.Total,
-		Unmatched: c.Unmatched,
-	}, nil
+	return s, nil
+}
+
+// StateInto captures the counter's current totals into s, reusing its
+// Counts buffer when capacity allows. Periodic checkpoint writers hold one
+// State and refill it on every snapshot, so the per-checkpoint copy stops
+// allocating once the buffer has grown to the object population.
+func (c *Counter) StateInto(s *State) error {
+	if c.BucketCycles != 0 {
+		return fmt.Errorf("truth: time-series bucket recording is not checkpointable")
+	}
+	s.Counts = append(s.Counts[:0], c.counts...)
+	s.Total = c.Total
+	s.Unmatched = c.Unmatched
+	return nil
 }
 
 // SetState restores a snapshot taken by State. Object IDs are dense and

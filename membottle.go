@@ -238,6 +238,14 @@ type System struct {
 	injector   *faults.Injector
 	checker    *sanitize.Checker
 	obsFlushed bool
+
+	// ckCache/ckTruth are scratch snapshot buffers reused across
+	// Checkpoint calls: periodic checkpoint writers snapshot the same
+	// geometry every time, so after the first write the way copy (32K
+	// entries for the paper's 2 MB cache) and the truth counts copy stop
+	// allocating.
+	ckCache cache.State
+	ckTruth truth.State
 }
 
 // NewSystem builds an empty simulated system.
@@ -393,19 +401,19 @@ func (s *System) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	s.Machine.Cache.StateInto(&s.ckCache)
 	snap := &checkpoint.Snapshot{
 		Machine:  s.Machine.State(),
-		Cache:    s.Machine.Cache.State(),
+		Cache:    s.ckCache,
 		PMU:      s.Machine.PMU.State(),
 		Space:    checkpoint.Fingerprint(s.Machine.Space),
 		Workload: checkpoint.Opaque{Name: s.workloadName(), Data: wdata},
 	}
 	if s.Truth != nil {
-		ts, err := s.Truth.State()
-		if err != nil {
+		if err := s.Truth.StateInto(&s.ckTruth); err != nil {
 			return fmt.Errorf("%w: %v", ErrNotCheckpointable, err)
 		}
-		snap.Truth = &ts
+		snap.Truth = &s.ckTruth
 	}
 	if s.profiler != nil {
 		pc, ok := s.profiler.(machine.Checkpointer)
