@@ -1,0 +1,249 @@
+// Package analysis implements mbvet, the project's static-analysis
+// suite. The simulator's correctness rests on invariants the compiler
+// cannot see — byte-identical checkpoints and shard merges, a
+// nil-check-only observability hot path, allocation-free batched
+// reference loops — and this package rejects code that would erode them
+// at analysis time, the way ATOM-style binary rewriters validate
+// instrumentation before it runs.
+//
+// Everything here is built on the standard library's go/parser, go/ast,
+// and go/types packages only (no x/tools), matching the repo's
+// stdlib-only rule. Four rule families ship today: determinism
+// (det-*), hot-path discipline (hp-*), concurrency hygiene (conc-*),
+// and error conventions (err-*), plus mb-directive for malformed
+// //mb: comments. See the Rules table for the catalog.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic: a rule violation at a position,
+// with a suggested fix when one is cheap to state.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	if f.Fix != "" {
+		s += " (fix: " + f.Fix + ")"
+	}
+	return s
+}
+
+// Rule describes one rule ID for the -rules listing.
+type Rule struct {
+	ID      string
+	Summary string
+}
+
+// Rules is the catalog of every rule mbvet enforces, sorted by ID.
+var Rules = []Rule{
+	{"conc-align", "64-bit field used with sync/atomic must be 8-byte aligned under 32-bit struct layout"},
+	{"conc-mixed", "a struct field operated on by sync/atomic must not also be written with plain assignments"},
+	{"det-maprange", "map iteration feeding a slice, builder, writer, or channel is nondeterministic unless sorted"},
+	{"det-rand", "global math/rand source in a simulation package breaks run-to-run determinism"},
+	{"det-time", "wall-clock read in a simulation package breaks run-to-run determinism"},
+	{"err-cmp", "sentinel error compared with == or !=; errors.Is also matches wrapped errors"},
+	{"err-wrap", "error formatted with %v/%s/%q loses the chain; wrap with %w"},
+	{"hp-append", "append to a non-preallocated local slice allocates on a //mb:hotpath function"},
+	{"hp-closure", "closure literal allocates on a //mb:hotpath function"},
+	{"hp-defer", "defer has per-call overhead on a //mb:hotpath function"},
+	{"hp-fmt", "fmt/log call formats and allocates on a //mb:hotpath function"},
+	{"hp-iface", "interface conversion or assertion allocates/branches on a //mb:hotpath function"},
+	{"mb-directive", "malformed //mb: directive"},
+}
+
+// KnownRule reports whether id names a rule in the catalog.
+func KnownRule(id string) bool {
+	for _, r := range Rules {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// simPackageSuffixes lists the module-relative package paths whose code
+// must be reproducible reference-for-reference: the simulation core that
+// the paper's perturbation measurements depend on. The determinism rules
+// apply only inside these (the observability layer, for example, may
+// legitimately read the wall clock for progress lines).
+var simPackageSuffixes = []string{
+	"internal/cache",
+	"internal/machine",
+	"internal/pmu",
+	"internal/mem",
+	"internal/truth",
+	"internal/shard",
+	"internal/core",
+	"internal/checkpoint",
+}
+
+// IsSimPackage reports whether the import path is held to the
+// determinism rules. Fixture packages under the analysis testdata tree
+// are always included so the rules can be exercised by tests and CI.
+func IsSimPackage(importPath string) bool {
+	if strings.Contains(importPath, "internal/analysis/testdata/") {
+		return true
+	}
+	for _, suf := range simPackageSuffixes {
+		if importPath == suf || strings.HasSuffix(importPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one package's unit of analysis: its syntax, type information,
+// and the accumulated findings.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// ImportPath is the package's module-relative import path; the
+	// determinism rules consult it via IsSimPackage.
+	ImportPath string
+
+	findings []Finding
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, fix, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Rule:    rule,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// Analyzer is one named rule-family implementation.
+type Analyzer struct {
+	Name string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in execution order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		HotPathAnalyzer,
+		ConcurrencyAnalyzer,
+		ErrConvAnalyzer,
+		DirectiveAnalyzer,
+	}
+}
+
+// Analyze runs the whole suite over one loaded package and returns the
+// findings that survive //mb:ignore suppression, sorted by position.
+func Analyze(pkg *Package) []Finding {
+	pass := &Pass{
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ImportPath: pkg.ImportPath,
+	}
+	for _, a := range Analyzers() {
+		a.Run(pass)
+	}
+	findings := applyIgnores(pass)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// --- shared type helpers --------------------------------------------------
+
+// calleeFunc resolves a call to the package-level function or method it
+// invokes, or nil for builtins, conversions, and dynamic calls.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t satisfies the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// exprErrorType reports whether the expression's static type satisfies
+// the error interface.
+func (p *Pass) exprErrorType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorType)
+}
+
+// rootIdent returns the leftmost identifier of an expression such as
+// x, x.f, x[i], or (*x).f, or nil when there is none.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

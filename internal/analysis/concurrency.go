@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ConcurrencyAnalyzer enforces the repo's two concurrency-hygiene rules.
+//
+//   - conc-mixed: once a struct field is operated on through sync/atomic
+//     (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.v), ...), every
+//     other access must be atomic too; a plain s.n = 0 or s.n++ races
+//     with the atomic users even under a mutex, because the mutex does
+//     not order the atomic readers.
+//   - conc-align: pointer-based 64-bit sync/atomic operations require
+//     the field to be 64-bit aligned. Structs are laid out with 32-bit
+//     alignment rules on 386/arm, so a uint64 after a lone uint32 sits
+//     at offset 4 and faults. The analyzer computes field offsets with
+//     GOARCH=386 sizes and flags misaligned atomically-used fields
+//     (the atomic.Int64 / atomic.Uint64 wrapper types are immune and
+//     are the suggested fix).
+var ConcurrencyAnalyzer = &Analyzer{
+	Name: "concurrency",
+	Run: func(p *Pass) {
+		atomicFields := p.collectAtomicFields()
+		if len(atomicFields) == 0 {
+			return
+		}
+		p.checkMixedAccess(atomicFields)
+		p.checkAlignment(atomicFields)
+	},
+}
+
+// atomicFieldUse records how a struct field is used through sync/atomic.
+type atomicFieldUse struct {
+	pos    token.Pos // first atomic use
+	wide64 bool      // used via a 64-bit atomic operation
+}
+
+// collectAtomicFields finds struct fields passed by address to
+// sync/atomic package functions.
+func (p *Pass) collectAtomicFields() map[*types.Var]*atomicFieldUse {
+	fields := map[*types.Var]*atomicFieldUse{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on atomic.Int64 etc. are always safe
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			fv := p.addressedField(call.Args[0])
+			if fv == nil {
+				return true
+			}
+			use := fields[fv]
+			if use == nil {
+				use = &atomicFieldUse{pos: call.Args[0].Pos()}
+				fields[fv] = use
+			}
+			if strings.Contains(fn.Name(), "64") {
+				use.wide64 = true
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// addressedField resolves &x.f to the field variable f, or nil.
+func (p *Pass) addressedField(e ast.Expr) *types.Var {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// checkMixedAccess flags plain writes to fields that are elsewhere
+// accessed atomically.
+func (p *Pass) checkMixedAccess(atomicFields map[*types.Var]*atomicFieldUse) {
+	report := func(pos token.Pos, fv *types.Var, what string) {
+		p.Reportf(pos, "conc-mixed",
+			"use sync/atomic for every access, or switch the field to atomic.Uint64/atomic.Int64",
+			"%s of field %s mixes with its sync/atomic uses", what, fv.Name())
+	}
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return nil
+		}
+		fv, _ := selection.Obj().(*types.Var)
+		if fv == nil {
+			return nil
+		}
+		if _, tracked := atomicFields[fv]; !tracked {
+			return nil
+		}
+		return fv
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if fv := fieldOf(lhs); fv != nil {
+						report(lhs.Pos(), fv, "plain assignment")
+					}
+				}
+			case *ast.IncDecStmt:
+				if fv := fieldOf(n.X); fv != nil {
+					report(n.X.Pos(), fv, "plain increment")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sizes32 lays structs out with 32-bit alignment rules; gc on 386 is
+// the stdlib's reference 32-bit layout.
+var sizes32 = types.SizesFor("gc", "386")
+
+// checkAlignment flags 64-bit atomically-used fields whose 32-bit
+// layout offset is not a multiple of 8.
+func (p *Pass) checkAlignment(atomicFields map[*types.Var]*atomicFieldUse) {
+	if sizes32 == nil {
+		return
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fvs []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			fvs = append(fvs, st.Field(i))
+		}
+		offsets := sizes32.Offsetsof(fvs)
+		for i, fv := range fvs {
+			use, tracked := atomicFields[fv]
+			if !tracked || !use.wide64 {
+				continue
+			}
+			if sizes32.Sizeof(fv.Type()) != 8 {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				p.Reportf(fv.Pos(), "conc-align",
+					"move the field to the front of the struct or use atomic.Uint64/atomic.Int64",
+					"64-bit atomic field %s sits at offset %d under 32-bit layout; pointer-based sync/atomic ops fault on 386/arm",
+					fv.Name(), offsets[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrConvAnalyzer enforces the repo's error conventions. The supervised
+// harness routes failures through typed sentinels (ErrBadCheckpoint,
+// ErrSnapshotMismatch, CancelledError, ...) and classifies them with
+// errors.Is / errors.As; both break silently the moment a wrap or a
+// comparison drops the chain.
+//
+//   - err-wrap: an error formatted into fmt.Errorf with %v/%s/%q is
+//     flattened to text — errors.Is can no longer see it. Wrap with %w
+//     (multiple %w verbs are fine since Go 1.20).
+//   - err-cmp:  comparing an error to a package-level sentinel with ==
+//     or != misses wrapped errors; use errors.Is. Comparisons against
+//     nil, and comparisons inside Is methods (which implement the
+//     errors.Is protocol), are exempt.
+var ErrConvAnalyzer = &Analyzer{
+	Name: "errconv",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					p.checkErrorfWrap(n)
+				case *ast.FuncDecl:
+					if n.Body != nil && n.Name.Name != "Is" {
+						p.checkSentinelCompares(n)
+					}
+					return n.Name.Name != "Is"
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose error-typed arguments are
+// formatted with a flattening verb.
+func (p *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for _, v := range formatVerbs(format) {
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if v.verb != 'v' && v.verb != 's' && v.verb != 'q' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if !p.exprErrorType(arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "err-wrap",
+			"use %w so errors.Is/As still see the wrapped error",
+			"error %s formatted with %%%c loses the error chain", types.ExprString(arg), v.verb)
+	}
+}
+
+// formatVerb is one verb of a format string and the argument index it
+// consumes (counting '*' width/precision arguments).
+type formatVerb struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs parses a fmt format string just enough to map verbs to
+// argument indices. Explicit argument indexes (%[1]d) reset the cursor
+// the same way the fmt package does.
+func formatVerbs(format string) []formatVerb {
+	var out []formatVerb
+	arg := 0
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Width (possibly '*').
+		for i < len(format) && (format[i] >= '0' && format[i] <= '9') {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			}
+			for i < len(format) && (format[i] >= '0' && format[i] <= '9') {
+				i++
+			}
+		}
+		// Explicit argument index.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, formatVerb{verb: rune(format[i]), arg: arg})
+		arg++
+		i++
+	}
+	return out
+}
+
+// checkSentinelCompares flags == / != between an error value and a
+// package-level error sentinel.
+func (p *Pass) checkSentinelCompares(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if p.exprIsNil(bin.X) || p.exprIsNil(bin.Y) {
+			return true
+		}
+		if !p.exprErrorType(bin.X) || !p.exprErrorType(bin.Y) {
+			return true
+		}
+		if !p.isSentinel(bin.X) && !p.isSentinel(bin.Y) {
+			return true
+		}
+		p.Reportf(bin.Pos(), "err-cmp",
+			"use errors.Is, which also matches wrapped errors",
+			"error compared to a sentinel with %s", bin.Op)
+		return true
+	})
+}
+
+// isSentinel reports whether the expression names a package-level error
+// variable (io.EOF, trace.ErrCorrupt, ...).
+func (p *Pass) isSentinel(e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	var obj types.Object
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[v.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[v]
+	}
+	vr, ok := obj.(*types.Var)
+	if !ok || vr.Pkg() == nil {
+		return false
+	}
+	return vr.Parent() == vr.Pkg().Scope()
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAnalyzer enforces allocation and dispatch discipline in
+// functions annotated //mb:hotpath — the per-reference and per-batch
+// paths (cache.AccessBatch, Partition.Sweep, the obs record paths)
+// whose cost budget is a handful of machine instructions. Anything that
+// allocates, formats, or adds dynamic dispatch there perturbs the very
+// measurement the simulator exists to make.
+//
+//   - hp-defer:   defer has per-call bookkeeping.
+//   - hp-fmt:     fmt/log formatting allocates and takes interface args.
+//   - hp-closure: a func literal allocates its closure environment.
+//   - hp-iface:   converting a concrete value to an interface (or
+//     asserting back out) allocates and adds dynamic dispatch.
+//   - hp-append:  append to a local slice not preallocated with
+//     make(len/cap) grows under the hot loop; appending to a
+//     caller-provided slice is allowed (the caller owns the
+//     allocation policy).
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotPathMarked(fn) {
+					continue
+				}
+				p.checkHotPath(fn)
+			}
+		}
+	},
+}
+
+func (p *Pass) checkHotPath(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "hp-defer", "restructure so cleanup runs inline",
+				"defer in hot-path function %s", name)
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "hp-closure", "hoist the closure out of the hot path",
+				"closure literal in hot-path function %s", name)
+		case *ast.TypeAssertExpr:
+			if n.Type != nil { // skip the x.(type) of a type switch
+				p.Reportf(n.Pos(), "hp-iface", "keep hot-path data concretely typed",
+					"type assertion in hot-path function %s", name)
+			}
+		case *ast.CallExpr:
+			p.checkHotPathCall(fn, n)
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotPathCall(fn *ast.FuncDecl, call *ast.CallExpr) {
+	name := fn.Name.Name
+	if p.isBuiltin(call, "append") {
+		p.checkHotPathAppend(fn, call)
+		return
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !p.exprIsInterface(call.Args[0]) {
+			p.Reportf(call.Pos(), "hp-iface", "keep hot-path data concretely typed",
+				"conversion to interface type %s in hot-path function %s", types.ExprString(call.Fun), name)
+		}
+		return
+	}
+	callee := p.calleeFunc(call)
+	if callee != nil && callee.Pkg() != nil {
+		if path := callee.Pkg().Path(); path == "fmt" || path == "log" {
+			p.Reportf(call.Pos(), "hp-fmt", "record raw values; format off the hot path",
+				"%s call in hot-path function %s", path, name)
+			return
+		}
+	}
+	// Passing a concrete value to an interface parameter converts it.
+	sig := p.callSignature(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if p.exprIsInterface(arg) || p.exprIsNil(arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "hp-iface", "keep hot-path data concretely typed",
+			"argument %s converts to interface %s in hot-path function %s",
+			types.ExprString(arg), pt.String(), name)
+	}
+}
+
+// checkHotPathAppend flags append whose target is a function-local
+// slice that was not preallocated with a make length or capacity.
+func (p *Pass) checkHotPathAppend(fn *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	target := rootIdent(call.Args[0])
+	if target == nil {
+		return
+	}
+	obj := p.Info.ObjectOf(target)
+	if obj == nil {
+		return
+	}
+	// Parameters (including the receiver) are the caller's slices:
+	// appending there is the documented "caller preallocates" pattern.
+	if fn.Body.Pos() > obj.Pos() || obj.Pos() > fn.Body.End() {
+		return
+	}
+	if p.preallocatedIn(fn, obj) {
+		return
+	}
+	p.Reportf(call.Pos(), "hp-append", "preallocate with make(len/cap) or let the caller own the slice",
+		"append to non-preallocated local %s in hot-path function %s", target.Name, fn.Name.Name)
+}
+
+// preallocatedIn reports whether the local slice object is declared via
+// make with a non-zero length or an explicit capacity.
+func (p *Pass) preallocatedIn(fn *ast.FuncDecl, obj types.Object) bool {
+	ok := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, isID := lhs.(*ast.Ident)
+				if !isID || p.Info.ObjectOf(id) != obj || i >= len(n.Rhs) {
+					continue
+				}
+				if makePreallocates(n.Rhs[i], p) {
+					ok = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, nm := range n.Names {
+				if p.Info.ObjectOf(nm) != obj || i >= len(n.Values) {
+					continue
+				}
+				if makePreallocates(n.Values[i], p) {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func makePreallocates(e ast.Expr, p *Pass) bool {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || !p.isBuiltin(call, "make") {
+		return false
+	}
+	if len(call.Args) >= 3 {
+		return true // explicit capacity
+	}
+	if len(call.Args) == 2 {
+		// make([]T, n): preallocated unless n is literally zero.
+		if tv, ok := p.Info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+func (p *Pass) exprIsInterface(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && types.IsInterface(tv.Type)
+}
+
+func (p *Pass) exprIsNil(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// callSignature resolves the signature of a (non-builtin,
+// non-conversion) call expression, or nil.
+func (p *Pass) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

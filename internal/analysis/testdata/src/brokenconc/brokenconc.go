@@ -1,0 +1,58 @@
+// Package brokenconc is an mbvet golden-finding fixture for the
+// concurrency-hygiene rules: one struct mixes atomic and plain access
+// on a field, one puts a 64-bit atomic field at a misaligned offset
+// under 32-bit layout, and the compliant forms stay silent.
+package brokenconc
+
+import "sync/atomic"
+
+// Mixed operates on n both atomically and with plain assignments.
+type Mixed struct {
+	n uint64
+}
+
+// Inc is the atomic user that makes every other access suspect.
+func (m *Mixed) Inc() { atomic.AddUint64(&m.n, 1) }
+
+// Reset races with Inc. (conc-mixed)
+func (m *Mixed) Reset() { m.n = 0 }
+
+// Bump races with Inc. (conc-mixed)
+func (m *Mixed) Bump() { m.n++ }
+
+// Misaligned puts its atomically-used uint64 at offset 4 under 32-bit
+// struct layout. (conc-align)
+type Misaligned struct {
+	flag uint32
+	hits uint64
+}
+
+// Hit marks hits as atomically used.
+func (m *Misaligned) Hit() uint64 { return atomic.AddUint64(&m.hits, 1) }
+
+// Aligned leads with the 64-bit field; silent.
+type Aligned struct {
+	hits uint64
+	flag uint32
+}
+
+// Hit marks hits as atomically used.
+func (a *Aligned) Hit() uint64 { return atomic.AddUint64(&a.hits, 1) }
+
+// Wrapped uses the atomic wrapper types, which carry their own
+// alignment guarantee and admit no plain access at all; silent.
+type Wrapped struct {
+	flag uint32
+	hits atomic.Uint64
+}
+
+// Hit uses the method API.
+func (w *Wrapped) Hit() uint64 { return w.hits.Add(1) }
+
+// Plain has no atomic users, so ordinary assignment is fine; silent.
+type Plain struct {
+	n uint64
+}
+
+// Reset is an ordinary write.
+func (p *Plain) Reset() { p.n = 0 }

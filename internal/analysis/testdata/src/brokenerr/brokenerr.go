@@ -1,0 +1,65 @@
+// Package brokenerr is an mbvet golden-finding fixture for the error
+// convention rules: flattening wraps and sentinel comparisons fire,
+// while %w wrapping, errors.Is, nil checks, and Is-method internals
+// stay silent.
+package brokenerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is the fixture's sentinel error.
+var ErrStale = errors.New("stale")
+
+// Flatten loses the chain. (err-wrap)
+func Flatten(err error) error {
+	return fmt.Errorf("refresh failed: %v", err)
+}
+
+// FlattenString loses the chain through %s. (err-wrap)
+func FlattenString(err error) error {
+	return fmt.Errorf("refresh of %d failed: %s", 7, err)
+}
+
+// Wrap keeps the chain; silent.
+func Wrap(err error) error {
+	return fmt.Errorf("refresh failed: %w", err)
+}
+
+// WrapBoth wraps two errors; silent (multiple %w is fine since Go 1.20).
+func WrapBoth(err error) error {
+	return fmt.Errorf("%w: %w", ErrStale, err)
+}
+
+// Describe formats non-error values with %v; silent.
+func Describe(n int, ok bool) error {
+	return fmt.Errorf("n=%v ok=%v", n, ok)
+}
+
+// Compare misses wrapped sentinels. (err-cmp)
+func Compare(err error) bool {
+	return err == ErrStale
+}
+
+// CompareNeq misses wrapped sentinels too. (err-cmp)
+func CompareNeq(err error) bool {
+	return err != ErrStale
+}
+
+// CompareIs is the fixed form; silent.
+func CompareIs(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// NilCheck is exempt; silent.
+func NilCheck(err error) bool { return err != nil }
+
+// staleError implements the errors.Is protocol; the == inside Is is
+// the protocol itself and is exempt; silent.
+type staleError struct{}
+
+func (staleError) Error() string { return "stale" }
+
+// Is reports whether target is the stale sentinel.
+func (staleError) Is(target error) bool { return target == ErrStale }

@@ -1,0 +1,71 @@
+// Package brokenhot is an mbvet golden-finding fixture for the
+// hot-path discipline rules: one annotated function violates every
+// hp-* rule, and a compliant annotated function stays silent.
+package brokenhot
+
+import "fmt"
+
+// Sink abstracts a counter consumer; used to force conversions.
+type Sink interface{ Put(v uint64) }
+
+// Count is a concrete Sink.
+type Count struct{ n uint64 }
+
+// Put implements Sink.
+func (c *Count) Put(v uint64) { c.n += v }
+
+// describe takes an interface parameter to exercise hp-iface at a call.
+func describe(s Sink) string { return "sink" }
+
+// Drain violates every hot-path rule at least once.
+//
+//mb:hotpath fixture: deliberately noncompliant
+func Drain(vals []uint64, c *Count) int {
+	defer fmt.Println("done") // hp-defer and hp-fmt
+	var acc []uint64
+	for _, v := range vals {
+		acc = append(acc, v) // hp-append: acc is not preallocated
+	}
+	f := func(v uint64) { c.Put(v) } // hp-closure
+	f(1)
+	_ = describe(c)   // hp-iface: *Count converts to Sink
+	s := Sink(c)      // hp-iface: explicit conversion
+	cc := s.(*Count)  // hp-iface: assertion back out
+	fmt.Println(cc.n) // hp-fmt
+	return len(acc)
+}
+
+// Fill is the compliant form: preallocated append, concrete calls,
+// no formatting; silent.
+//
+//mb:hotpath fixture: compliant
+func Fill(vals []uint64, c *Count) []uint64 {
+	out := make([]uint64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+		c.Put(v)
+	}
+	return out
+}
+
+// Spill appends to a caller-provided slice, the documented "caller
+// preallocates" pattern; silent.
+//
+//mb:hotpath fixture: caller-owned slice
+func Spill(vals []uint64, out []uint64) []uint64 {
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Relaxed is unannotated: the same violations draw no findings.
+func Relaxed(vals []uint64, c *Count) {
+	defer fmt.Println("done")
+	var acc []uint64
+	for _, v := range vals {
+		acc = append(acc, v)
+	}
+	_ = describe(c)
+	_ = acc
+}

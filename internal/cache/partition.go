@@ -62,6 +62,8 @@ func (p *Partition) Sets() int { return len(p.ways) / p.assoc }
 // Access simulates one reference already routed to this partition and
 // reports whether it missed, mirroring Cache.Access (same LRU update,
 // same victim tie-break, same statistics).
+//
+//mb:hotpath per-reference shard replay; mbvet forbids allocation here
 func (p *Partition) Access(a mem.Addr, write bool) (miss bool) {
 	if write {
 		p.Stats.Writes++
@@ -96,6 +98,8 @@ func (p *Partition) Access(a mem.Addr, write bool) (miss bool) {
 // at the first miss — shard replay has no interrupts to deliver — so the
 // whole chunk runs through one branch-light loop; the 4-way layout gets
 // the same unrolled probe as the batched hot path.
+//
+//mb:hotpath shard worker inner loop; missIdx is caller-preallocated
 func (p *Partition) Sweep(packed []uint64, missIdx []uint32) []uint32 {
 	var hits, writes uint64
 	clock := p.clock

@@ -230,7 +230,7 @@ func Write(w io.Writer, s *Snapshot) error {
 func Read(r io.Reader) (*Snapshot, error) {
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	if string(magic) != Magic {
 		return nil, ErrBadMagic
@@ -387,7 +387,7 @@ func readSection(r io.Reader) ([]byte, error) {
 	var buf bytes.Buffer
 	copied, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if copied != int64(n) {
 		return nil, fmt.Errorf("%w: section truncated (%d of %d bytes)", ErrCorrupt, copied, n)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"membottle/internal/machine"
 	"membottle/internal/mem"
@@ -774,12 +775,9 @@ func (s *Search) collectResults() []*Region {
 	for _, r := range seen {
 		out = append(out, r)
 	}
-	// Rank descending by score; deterministic tie-break.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && better(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Rank descending by score; better's tie-break on Region.Lo is a
+	// total order, so the sort erases the map's random iteration order.
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
 	return out
 }
 

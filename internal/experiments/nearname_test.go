@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"tomcatv", "tomcatv", 0},
+		{"tomcat", "tomcatv", 1},   // insertion
+		{"tomcatvv", "tomcatv", 1}, // deletion
+		{"tomcatx", "tomcatv", 1},  // substitution
+		{"swim", "mgrid", 4},
+		{"kitten", "sitting", 3},
+	}
+	for _, tc := range cases {
+		if got := editDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := editDistance(tc.b, tc.a); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d (asymmetric)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestNearestName(t *testing.T) {
+	candidates := []string{"applu", "compress", "mgrid", "su2cor", "swim", "tomcatv"}
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"tomcat", "tomcatv"},   // one edit away
+		{"sucor", "su2cor"},     // one edit away
+		{"compres", "compress"}, // one edit away
+		{"aplu", "applu"},       // one edit away
+		{"swin", "swim"},        // substitution
+		{"zzzzzz", ""},          // nothing within distance 2
+		{"", ""},                // empty input matches nothing short enough
+	}
+	for _, tc := range cases {
+		if got := nearestName(tc.name, candidates); got != tc.want {
+			t.Errorf("nearestName(%q) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// Equidistant candidates tie-break to the first in (sorted) order.
+	if tied := nearestName("ab", []string{"abcd", "abce"}); tied != "abcd" {
+		t.Errorf("nearestName tie = %q, want %q", tied, "abcd")
+	}
+}

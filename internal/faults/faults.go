@@ -170,7 +170,7 @@ func Parse(spec string) (*Config, error) {
 			return nil, fmt.Errorf("faults: unknown key %q", k)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("faults: bad value for %s: %v", k, err)
+			return nil, fmt.Errorf("faults: bad value for %s: %w", k, err)
 		}
 	}
 	return cfg, nil

@@ -470,6 +470,8 @@ const batchChunk = 1024
 // path only for per-miss bookkeeping and at PMU cycle events (timer
 // deadlines, timeshare rotations), so interrupt delivery points, cycle
 // counts, and cache state stay bit-identical to scalar execution.
+//
+//mb:hotpath machine half of the batched engine; one obs nil check per batch
 func (m *Machine) AccessBatch(refs []Ref) {
 	if m.capture != nil {
 		m.captureBatch(refs)

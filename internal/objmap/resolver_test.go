@@ -1,0 +1,133 @@
+package objmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"membottle/internal/mem"
+)
+
+// buildResolverFixture assembles a map with globals, live heap blocks
+// (one freed, so it must not resolve), and a stack variable, then
+// snapshots it.
+func buildResolverFixture(t *testing.T) (*mem.Space, *Map, *Resolver) {
+	t.Helper()
+	s, m := newSpaceWithGlobals(t, map[string]uint64{"A": 100, "B": 200, "C": 300})
+	s.MustMalloc(512)
+	freed := s.MustMalloc(256)
+	s.MustMalloc(1024)
+	if err := s.Free(freed); err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterStackVar("x", mem.StackBase+32, 64)
+	return s, m, m.Resolver()
+}
+
+func TestResolverLookupCachePaths(t *testing.T) {
+	s, _, r := buildResolverFixture(t)
+	symA, _ := s.SymbolByName("A")
+	symB, _ := s.SymbolByName("B")
+
+	// Cold lookup lands via the globals binary search and primes lastHit.
+	if o := r.Lookup(symA.Base + 7); o == nil || o.Name != "A" {
+		t.Fatalf("cold Lookup(A) = %v", o)
+	}
+	if r.lastHit == nil || r.lastHit.Name != "A" {
+		t.Fatalf("lastHit = %v, want A", r.lastHit)
+	}
+
+	// Same-object lookup is a lastHit cache hit: prevHit stays untouched.
+	if o := r.Lookup(symA.Base + 8); o == nil || o.Name != "A" {
+		t.Fatalf("lastHit Lookup(A) = %v", o)
+	}
+	if r.prevHit != nil {
+		t.Fatalf("prevHit = %v after repeated hits on one object, want nil", r.prevHit)
+	}
+
+	// A different object demotes A into prevHit.
+	if o := r.Lookup(symB.Base); o == nil || o.Name != "B" {
+		t.Fatalf("Lookup(B) = %v", o)
+	}
+	if r.lastHit.Name != "B" || r.prevHit == nil || r.prevHit.Name != "A" {
+		t.Fatalf("cache = (%v, %v), want (B, A)", r.lastHit, r.prevHit)
+	}
+
+	// Touching A again is a prevHit hit and must swap the two entries,
+	// the alternating-pair pattern the second slot exists for.
+	if o := r.Lookup(symA.Base); o == nil || o.Name != "A" {
+		t.Fatalf("prevHit Lookup(A) = %v", o)
+	}
+	if r.lastHit.Name != "A" || r.prevHit.Name != "B" {
+		t.Fatalf("cache = (%v, %v) after swap, want (A, B)", r.lastHit, r.prevHit)
+	}
+}
+
+func TestResolverLookupFallThrough(t *testing.T) {
+	s, m, r := buildResolverFixture(t)
+	symA, _ := s.SymbolByName("A")
+	symC, _ := s.SymbolByName("C")
+
+	// Padding gap between globals resolves to nil without consulting the
+	// heap: the globals table claims its whole address span.
+	if o := r.Lookup(symA.Base + 100); o != nil {
+		t.Fatalf("Lookup in globals padding gap = %v, want nil", o)
+	}
+	// Below the data segment: nothing claims it.
+	if o := r.Lookup(mem.DataBase - 1); o != nil {
+		t.Fatalf("Lookup below data = %v, want nil", o)
+	}
+	// Last global's final byte resolves; one past it does not.
+	if o := r.Lookup(symC.End() - 1); o == nil || o.Name != "C" {
+		t.Fatalf("Lookup(C.end-1) = %v", o)
+	}
+	if o := r.Lookup(symC.End()); o != nil {
+		t.Fatalf("Lookup(C.end) = %v, want nil", o)
+	}
+
+	// Live heap blocks resolve; the freed one does not.
+	var live, dead *Object
+	for _, o := range m.Objects() {
+		if o.Kind != KindHeap {
+			continue
+		}
+		if o.Live {
+			live = o
+		} else {
+			dead = o
+		}
+	}
+	if live == nil || dead == nil {
+		t.Fatal("fixture needs both a live and a freed heap block")
+	}
+	if o := r.Lookup(live.Base + mem.Addr(live.Size/2)); o != live {
+		t.Fatalf("Lookup(live heap) = %v, want %v", o, live)
+	}
+	if o := r.Lookup(dead.Base); o != nil {
+		t.Fatalf("Lookup(freed heap) = %v, want nil", o)
+	}
+
+	// Stack variables are the last tier.
+	if o := r.Lookup(mem.StackBase + 40); o == nil || o.Name != "x" {
+		t.Fatalf("Lookup(stack var) = %v", o)
+	}
+	if o := r.Lookup(mem.StackBase + 8); o != nil {
+		t.Fatalf("Lookup(unregistered stack addr) = %v, want nil", o)
+	}
+}
+
+// TestResolverAgreesWithMap drives the snapshot and the live map over
+// the same random address stream: the resolver exists so shard workers
+// can attribute misses without touching the shared map, which is only
+// sound if the two never disagree on a static object set.
+func TestResolverAgreesWithMap(t *testing.T) {
+	s, m, r := buildResolverFixture(t)
+	lo, hi := s.Extent()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		a := lo + mem.Addr(rng.Int63n(int64(hi-lo+64)))
+		got, want := r.Lookup(a), m.Lookup(a)
+		if got != want {
+			t.Fatalf("Lookup(%#x): resolver=%v map=%v", uint64(a), got, want)
+		}
+	}
+}

@@ -42,11 +42,11 @@ type Obs struct {
 	Runs            *Counter   // sim.runs: systems flushed into this registry
 
 	// Sharded ground-truth engine instruments.
-	ShardRuns        *Counter   // shard.runs: plain runs served by the sharded engine
-	ShardFallbacks   *Counter   // shard.fallbacks: runs that fell back to sequential
-	ShardChunks      *Counter   // shard.chunks: trace chunks streamed to workers
-	ShardWorkerRefs  *Histogram // shard.worker_refs: references replayed per worker
-	ShardWorkerMiss  *Histogram // shard.worker_misses: misses attributed per worker
+	ShardRuns       *Counter   // shard.runs: plain runs served by the sharded engine
+	ShardFallbacks  *Counter   // shard.fallbacks: runs that fell back to sequential
+	ShardChunks     *Counter   // shard.chunks: trace chunks streamed to workers
+	ShardWorkerRefs *Histogram // shard.worker_refs: references replayed per worker
+	ShardWorkerMiss *Histogram // shard.worker_misses: misses attributed per worker
 }
 
 // Options configures New.

@@ -216,9 +216,9 @@ func FuzzShardEquivalence(f *testing.F) {
 	f.Add(uint64(42), uint(14), uint(5), uint(0), 1, uint64(100_000))
 	f.Add(uint64(7), uint(12), uint(6), uint(3), 16, uint64(50_000))
 	f.Fuzz(func(t *testing.T, seed uint64, sizeLog, lineLog, assocLog uint, workers int, budget uint64) {
-		sizeLog = 10 + sizeLog%11   // 1 KiB .. 1 MiB
-		lineLog = 4 + lineLog%4     // 16 .. 128 B lines
-		assocLog = assocLog % 4     // 1 .. 8 ways
+		sizeLog = 10 + sizeLog%11 // 1 KiB .. 1 MiB
+		lineLog = 4 + lineLog%4   // 16 .. 128 B lines
+		assocLog = assocLog % 4   // 1 .. 8 ways
 		if lineLog >= sizeLog {
 			lineLog = sizeLog - 1
 		}

@@ -135,7 +135,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMagic, err)
 	}
 	for i := range magic {
 		if head[i] != magic[i] {
@@ -163,13 +163,13 @@ func (t *Reader) Next() (Event, error) {
 	case opCompute:
 		n, err := binary.ReadUvarint(t.r)
 		if err != nil {
-			return Event{}, fmt.Errorf("%w: compute: %v", ErrCorrupt, err)
+			return Event{}, fmt.Errorf("%w: compute: %w", ErrCorrupt, err)
 		}
 		return Event{Compute: n}, nil
 	case opLoad, opStore:
 		delta, err := binary.ReadVarint(t.r)
 		if err != nil {
-			return Event{}, fmt.Errorf("%w: ref: %v", ErrCorrupt, err)
+			return Event{}, fmt.Errorf("%w: ref: %w", ErrCorrupt, err)
 		}
 		t.lastAddr += uint64(delta)
 		return Event{Addr: mem.Addr(t.lastAddr), Write: op == opStore}, nil
@@ -272,7 +272,7 @@ func NewReplayLimit(name string, r io.Reader, maxEvents int) (*Replay, error) {
 	rp := &Replay{name: name}
 	for {
 		ev, err := tr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -411,7 +411,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	}
 	if s.Truth != nil {
 		if err := s.Truth.StateInto(&s.ckTruth); err != nil {
-			return fmt.Errorf("%w: %v", ErrNotCheckpointable, err)
+			return fmt.Errorf("%w: %w", ErrNotCheckpointable, err)
 		}
 		snap.Truth = &s.ckTruth
 	}
