@@ -32,8 +32,10 @@ import (
 	"time"
 
 	"membottle"
+	"membottle/internal/interval"
 	"membottle/internal/shard"
 	"membottle/internal/trace"
+	"membottle/internal/truth"
 )
 
 // Result is one (workload, app, engine) measurement.
@@ -47,6 +49,10 @@ type Result struct {
 	RefsPerSec      float64 `json:"refs_per_sec"`
 	Allocs          uint64  `json:"allocs"`
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
+	// MaxRelErr is the worst per-counter relative error of an approximate
+	// mode against the exact baseline, in percent; only the -intervals
+	// family sets it (the other families are bit-identical by contract).
+	MaxRelErr float64 `json:"max_rel_err,omitempty"`
 }
 
 // File is the on-disk shape of one BENCH_*.json.
@@ -70,7 +76,9 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per configuration; the fastest is reported")
 		obsAB   = flag.Bool("obs", false, "measure observability overhead instead: batched engine with obs off vs on")
 		truthAB = flag.Bool("truth", false, "measure the sharded ground-truth engine instead: sequential vs set-sharded across a worker sweep")
-		minSpd  = flag.Float64("min-speedup", 0, "with -truth: exit nonzero unless the aggregate speedup at the widest worker count reaches this floor (CI gate on multi-core runners)")
+		minSpd  = flag.Float64("min-speedup", 0, "with -truth or -intervals: exit nonzero unless the aggregate speedup reaches this floor (CI gate)")
+		intAB   = flag.Bool("intervals", false, "measure the representative-interval engine instead: full-run ground truth vs interval extrapolation, with accuracy reported per app")
+		maxErr  = flag.Float64("max-rel-err", 0, "with -intervals: exit nonzero if any app's max per-counter relative error exceeds this percentage (CI accuracy gate)")
 	)
 	flag.Parse()
 
@@ -98,6 +106,10 @@ func main() {
 	}
 	if *truthAB {
 		runTruthBench(apps, b, *reps, *outDir, *minSpd)
+		return
+	}
+	if *intAB {
+		runIntervalBench(apps, b, *reps, *outDir, *minSpd, *maxErr)
 		return
 	}
 
@@ -272,6 +284,83 @@ func runTruthBench(apps []string, budget uint64, reps int, outDir string, minSpe
 	if minSpeedup > 0 && file.AggregateSpeedup < minSpeedup {
 		fatal(fmt.Errorf("aggregate truth speedup %.2fx below the %.2fx floor (%s vs seq)",
 			file.AggregateSpeedup, minSpeedup, widest))
+	}
+}
+
+// runIntervalBench is the -intervals mode: the A side is the experiments
+// layer's full-run ground-truth path (the set-sharded engine, the same
+// runs Table 1's "Actual" column comes from), the B side is the
+// representative-interval engine extrapolating from cluster
+// representatives only. Both sides replay the identical reference stream
+// (measureModes' refs tripwire enforces it), but the interval side's
+// truth tables are estimates: each app's worst per-counter relative
+// error against the exact tables is reported next to its speedup, and
+// -min-speedup / -max-rel-err turn the aggregate speedup and the worst
+// per-app error into CI gates — the speed is only worth having while the
+// differential oracle stays satisfied.
+func runIntervalBench(apps []string, budget uint64, reps int, outDir string, minSpeedup, maxRelErr float64) {
+	oracle := map[string]*truth.Counter{}
+	est := map[string]*truth.Counter{}
+	run := func(app, mode string) (uint64, error) {
+		w, err := membottle.NewWorkload(app)
+		if err != nil {
+			return 0, err
+		}
+		if mode == "full" {
+			res, err := shard.Run(nil, w, budget, shard.Config{})
+			if err != nil {
+				return 0, err
+			}
+			oracle[app] = res.Truth
+			return res.Stats.Accesses(), nil
+		}
+		res, err := interval.Run(nil, w, budget, interval.Config{})
+		if err != nil {
+			return 0, err
+		}
+		est[app] = res.Truth
+		return res.Plan.TotalRefs, nil
+	}
+
+	file := File{Workload: "intervals", Budget: budget}
+	var fullNs, intNs int64
+	worstApp, worstErr := "", 0.0
+	for _, app := range apps {
+		rs, err := measureModes("intervals", app, reps, []string{"full", "intervals"}, run)
+		if err != nil {
+			fatal(err)
+		}
+		rep := interval.Compare(est[app], oracle[app], 0)
+		rs[1].MaxRelErr = rep.MaxRel
+		fmt.Printf("%-8s %-9s max rel err %.2f%% (total %.2f%%, mean %.2f%%)\n",
+			"intervals", app, rep.MaxRel, rep.TotalRel, rep.MeanRel)
+		if rep.MaxRel > worstErr {
+			worstApp, worstErr = app, rep.MaxRel
+		}
+		fullNs += rs[0].WallNs
+		intNs += rs[1].WallNs
+		file.Results = append(file.Results, rs...)
+	}
+	file.AggregateSpeedup = float64(fullNs) / float64(intNs)
+	fmt.Printf("%-8s aggregate: full %v, intervals %v, speedup %.2fx, worst err %.2f%% (%s)\n",
+		"intervals", time.Duration(fullNs), time.Duration(intNs),
+		file.AggregateSpeedup, worstErr, worstApp)
+	path := filepath.Join(outDir, "BENCH_intervals.json")
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if minSpeedup > 0 && file.AggregateSpeedup < minSpeedup {
+		fatal(fmt.Errorf("aggregate interval speedup %.2fx below the %.2fx floor (vs full-run truth)",
+			file.AggregateSpeedup, minSpeedup))
+	}
+	if maxRelErr > 0 && worstErr > maxRelErr {
+		fatal(fmt.Errorf("%s max relative counter error %.2f%% above the %.2f%% ceiling",
+			worstApp, worstErr, maxRelErr))
 	}
 }
 

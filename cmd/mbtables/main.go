@@ -7,6 +7,14 @@
 //	mbtables -table 1 -paper       paper-fidelity parameters (slow)
 //	mbtables -table 1 -sanitize    cross-check the simulator while running
 //	mbtables -table 1 -faults drop-miss=0.2,seed=7 -retries 2
+//	mbtables -intervals            representative-interval error-bound report
+//	mbtables -table 1 -intervals   serve ground truth from the interval engine
+//
+// With -intervals and no table selected, mbtables prints the
+// differential error-bound report: exact ground truth vs. the
+// representative-interval engine's extrapolation, per app. Combined
+// with a table, plain ground-truth runs come from the (approximate)
+// interval engine instead; -interval-size and -clusters tune it.
 //
 // Failed application cells (panic, sanitizer violation, unrecovered
 // injected faults) render as annotated gaps; the table is still printed,
@@ -41,6 +49,9 @@ func main() {
 		retries   = flag.Int("retries", 0, "retries for cells that fail due to injected faults")
 		seqTruth  = flag.Bool("seq-truth", false, "force ground-truth runs onto the sequential engine (output is identical; only wall-clock differs)")
 		truthWkr  = flag.Int("truth-workers", 0, "worker count for the sharded ground-truth engine (0: GOMAXPROCS)")
+		intervals = flag.Bool("intervals", false, "representative-interval engine: alone, print the error-bound report; with -table, serve (approximate) ground truth from it")
+		intSize   = flag.Int("interval-size", 0, "interval size in references for -intervals (0: adaptive)")
+		clusters  = flag.Int("clusters", 0, "cluster count (representatives simulated) for -intervals (0: engine default)")
 	)
 	obsFlags := obsio.Register(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +72,9 @@ func main() {
 		// read-only).
 		TruthCache:   experiments.NewTruthCache(),
 		TruthWorkers: *truthWkr,
+
+		IntervalRefs:     *intSize,
+		IntervalClusters: *clusters,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
@@ -77,6 +91,10 @@ func main() {
 		}
 		opt.Faults = fc
 	}
+	// With a table selected, -intervals reroutes its plain ground-truth
+	// runs through the interval engine; alone, it selects the error-bound
+	// report below (which manages the flag per side itself).
+	opt.Intervals = *intervals && (*table != 0 || *resonance)
 
 	emit := func(t *report.Table) {
 		var err error
@@ -144,6 +162,13 @@ func main() {
 			fatal(err)
 		}
 		emit(experiments.RenderResonance(r))
+		ran = true
+	}
+
+	if *intervals && !ran {
+		rs, err := experiments.IntervalErrors(opt)
+		emit(experiments.RenderIntervalErrors(rs))
+		reportCells(err)
 		ran = true
 	}
 

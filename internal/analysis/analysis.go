@@ -88,6 +88,7 @@ var simPackageSuffixes = []string{
 	"internal/mem",
 	"internal/truth",
 	"internal/shard",
+	"internal/interval",
 	"internal/core",
 	"internal/checkpoint",
 }

@@ -92,6 +92,49 @@ func (p *Partition) Access(a mem.Addr, write bool) (miss bool) {
 	return true
 }
 
+// Flush invalidates every line the partition owns and leaves statistics
+// intact, mirroring Cache.Flush. The clock keeps running: LRU decisions
+// compare stamps relatively, so behaviour after a flush depends only on
+// the references that follow it.
+func (p *Partition) Flush() {
+	for i := range p.ways {
+		p.ways[i].stamp = 0
+	}
+}
+
+// StateInto captures the partition's contents and statistics into s,
+// reusing its Ways buffer when capacity allows — the same snapshot
+// contract as Cache.StateInto, so a Partition built with shards=1 (a full
+// cache) interoperates with checkpoint-style State holders. The
+// representative-interval engine uses this to hand a warmed cache image
+// from its warmup partition to its measurement partition without
+// allocating per representative.
+func (p *Partition) StateInto(s *State) {
+	if cap(s.Ways) < len(p.ways) {
+		s.Ways = make([]WayState, len(p.ways))
+	}
+	s.Ways = s.Ways[:len(p.ways)]
+	for i, w := range p.ways {
+		s.Ways[i] = WayState{Tag: w.tag, Stamp: w.stamp}
+	}
+	s.Clock = p.clock
+	s.Stats = p.Stats
+}
+
+// SetState restores a snapshot taken by StateInto on a partition of the
+// same geometry (same number of ways).
+func (p *Partition) SetState(s State) error {
+	if len(s.Ways) != len(p.ways) {
+		return fmt.Errorf("cache: snapshot has %d ways, partition has %d", len(s.Ways), len(p.ways))
+	}
+	for i, w := range s.Ways {
+		p.ways[i] = way{tag: w.Tag, stamp: w.Stamp}
+	}
+	p.clock = s.Clock
+	p.Stats = s.Stats
+	return nil
+}
+
 // Sweep simulates every packed reference (mem.PackRef form, all already
 // routed to this partition) and appends the index of each miss to missIdx,
 // returning the extended slice. Unlike Cache.AccessBatch it does not stop
@@ -177,5 +220,97 @@ func (p *Partition) Sweep(packed []uint64, missIdx []uint32) []uint32 {
 	p.Stats.Misses += misses
 	p.Stats.Writes += writes
 	p.Stats.Reads += uint64(len(packed)) - writes
+	return missIdx
+}
+
+// SweepRuns simulates a run-compacted reference stream (mem.PackRun
+// form) and appends the index of each missing entry to missIdx,
+// returning the extended slice. Each entry is one probe: only a run's
+// first reference can miss, and the remaining touches of the run are
+// hits that cannot change relative LRU order (see mem.PackRun), so one
+// stamp update per run reproduces the full per-reference sweep's miss
+// outcomes exactly. The clock advances per run rather than per
+// reference, which preserves the relative stamp order LRU compares.
+// Statistics: Hits and Misses count references exactly; the read/write
+// split is not represented in run form, so every reference is tallied
+// under Reads — run-compacted callers track the true split themselves.
+//
+//mb:hotpath representative-interval inner loop; missIdx is caller-preallocated
+func (p *Partition) SweepRuns(entries []uint64, missIdx []uint32) []uint32 {
+	var hits, misses, refs uint64
+	clock := p.clock
+	ways := p.ways
+	shift, mask, shardShift := p.lineShift, p.setMask, p.shardShift
+	if p.assoc == 4 {
+		for i, en := range entries {
+			cnt := en&(mem.MaxRunLen-1) + 1
+			refs += cnt
+			line := (en >> mem.RunShift) >> shift
+			clock++
+			base := int((line&mask)>>shardShift) * 4
+			s := ways[base : base+4 : base+4]
+			var e *way
+			switch {
+			case s[0].tag == line && s[0].stamp != 0:
+				e = &s[0]
+			case s[1].tag == line && s[1].stamp != 0:
+				e = &s[1]
+			case s[2].tag == line && s[2].stamp != 0:
+				e = &s[2]
+			case s[3].tag == line && s[3].stamp != 0:
+				e = &s[3]
+			default:
+				vi, oldest := 0, s[0].stamp
+				if s[1].stamp <= oldest {
+					vi, oldest = 1, s[1].stamp
+				}
+				if s[2].stamp <= oldest {
+					vi, oldest = 2, s[2].stamp
+				}
+				if s[3].stamp <= oldest {
+					vi = 3
+				}
+				s[vi] = way{tag: line, stamp: clock}
+				misses++
+				hits += cnt - 1
+				missIdx = append(missIdx, uint32(i))
+				continue
+			}
+			e.stamp = clock
+			hits += cnt
+		}
+	} else {
+		assoc := p.assoc
+		for i, en := range entries {
+			cnt := en&(mem.MaxRunLen-1) + 1
+			refs += cnt
+			line := (en >> mem.RunShift) >> shift
+			clock++
+			base := int((line&mask)>>shardShift) * assoc
+			victim, oldest := base, ^uint64(0)
+			hit := -1
+			for j := base; j < base+assoc; j++ {
+				if st := ways[j].stamp; st != 0 && ways[j].tag == line {
+					hit = j
+					break
+				} else if st <= oldest {
+					victim, oldest = j, st
+				}
+			}
+			if hit < 0 {
+				ways[victim] = way{tag: line, stamp: clock}
+				misses++
+				hits += cnt - 1
+				missIdx = append(missIdx, uint32(i))
+				continue
+			}
+			ways[hit].stamp = clock
+			hits += cnt
+		}
+	}
+	p.clock = clock
+	p.Stats.Hits += hits
+	p.Stats.Misses += misses
+	p.Stats.Reads += refs
 	return missIdx
 }

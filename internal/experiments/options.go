@@ -80,6 +80,22 @@ type Options struct {
 	// it); the sequential engine is the oracle baseline and what
 	// cmd/mbbench -truth measures speedups against.
 	SeqTruth bool
+	// Intervals serves plain ground-truth runs from the
+	// representative-interval engine (internal/interval): the reference
+	// stream is captured once, clustered, and only cluster
+	// representatives are simulated, so the resulting truth tables are
+	// approximate (the exact engines remain the differential oracle —
+	// see IntervalErrors for the error-bound report). Ignored when the
+	// options pin runs to an exact engine (SeqTruth, Scalar, Sanitize,
+	// or fault injection), and an individual workload outside the
+	// engine's preconditions falls back to an exact run.
+	Intervals bool
+	// IntervalRefs is the interval size in references for Intervals
+	// runs; 0 sizes intervals adaptively from the captured trace.
+	IntervalRefs int
+	// IntervalClusters is the cluster count (representatives simulated)
+	// for Intervals runs; 0 selects the engine default.
+	IntervalClusters int
 	// TruthWorkers is the worker count for the sharded ground-truth
 	// engine; 0 selects GOMAXPROCS. Ignored when SeqTruth is set.
 	TruthWorkers int

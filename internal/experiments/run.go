@@ -7,6 +7,7 @@ import (
 
 	"membottle"
 	"membottle/internal/core"
+	"membottle/internal/interval"
 	"membottle/internal/shard"
 	"membottle/internal/truth"
 )
@@ -64,7 +65,47 @@ func shardEligible(opt Options) bool {
 	return !opt.SeqTruth && !opt.Scalar && !opt.Sanitize && opt.Faults == nil
 }
 
+// intervalEligible reports whether plain runs may use the
+// representative-interval engine: it must be requested, and the same
+// options that pin runs to an exact engine for the sharded path pin
+// them here too (the interval engine is approximate, so anything that
+// demands the trusted baseline demands the exact one).
+func intervalEligible(opt Options) bool {
+	return opt.Intervals && shardEligible(opt)
+}
+
+// runInterval executes a workload through the representative-interval
+// engine under the run options. Callers treat interval.ErrFallback as
+// "use an exact engine".
+func runInterval(opt Options, app string, budget uint64) (*interval.Result, error) {
+	w, err := membottle.NewWorkload(app)
+	if err != nil {
+		return nil, err
+	}
+	return interval.Run(opt.Ctx, w, budget, interval.Config{
+		IntervalRefs: opt.IntervalRefs,
+		Clusters:     opt.IntervalClusters,
+		Seed:         opt.Seed,
+		Workers:      opt.TruthWorkers,
+		Obs:          opt.Obs,
+	})
+}
+
 func runPlainUncached(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
+	if intervalEligible(opt) {
+		res, err := runInterval(opt, app, budget)
+		if err == nil {
+			ov := membottle.Overhead{
+				TotalCycles:     res.Cycles,
+				TotalMisses:     res.Stats.Misses,
+				AppInstructions: res.AppInsts,
+			}
+			return res.Truth, ov, nil
+		}
+		if !errors.Is(err, interval.ErrFallback) {
+			return nil, membottle.Overhead{}, err
+		}
+	}
 	if shardEligible(opt) {
 		w, err := membottle.NewWorkload(app)
 		if err != nil {

@@ -16,9 +16,13 @@ import (
 // result — deterministic, and read-only to every consumer — is shared.
 //
 // Entries are keyed by everything that determines a plain run's outcome.
-// Engine selection (scalar, sequential, sharded, worker count) is
-// deliberately excluded: all engines produce byte-identical results by
-// contract, enforced by the differential tests. Failed runs are not
+// Exact engine selection (scalar, sequential, sharded, worker count) is
+// deliberately excluded: those engines produce byte-identical results by
+// contract, enforced by the differential tests. The approximate
+// representative-interval engine is NOT byte-identical to the exact
+// engines, so when an interval run would serve the request its sampling
+// parameters join the key — an interval estimate is never returned to a
+// caller expecting exact truth, or vice versa. Failed runs are not
 // cached, so cancellation or retry semantics are unchanged.
 type TruthCache struct {
 	mu sync.Mutex
@@ -35,6 +39,12 @@ type truthKey struct {
 	app    string
 	budget uint64
 	geom   cache.Config
+
+	// Approximate-engine parameters; zero for exact runs.
+	intervals        bool
+	intervalRefs     int
+	intervalClusters int
+	intervalSeed     int64
 }
 
 type truthEntry struct {
@@ -51,6 +61,12 @@ type truthEntry struct {
 // it.
 func (tc *TruthCache) get(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
 	key := truthKey{app: app, budget: budget, geom: membottle.DefaultConfig().Cache}
+	if intervalEligible(opt) {
+		key.intervals = true
+		key.intervalRefs = opt.IntervalRefs
+		key.intervalClusters = opt.IntervalClusters
+		key.intervalSeed = opt.Seed
+	}
 	tc.mu.Lock()
 	e := tc.m[key]
 	if e == nil {

@@ -1,0 +1,81 @@
+package interval_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"membottle/internal/interval"
+)
+
+// renderResult flattens everything a Result promises to be deterministic
+// into one comparable string: the full sampling plan (spans, cluster
+// assignments, representatives, exact weight bit patterns), the
+// extrapolated ranked tables, the statistics, and the machine counters.
+func renderResult(res *interval.Result) string {
+	var b strings.Builder
+	p := res.Plan
+	fmt.Fprintf(&b, "total=%d spans=%d\n", p.TotalRefs, len(p.Spans))
+	for i, sp := range p.Spans {
+		fmt.Fprintf(&b, "span %d: start=%d refs=%d cluster=%d\n", i, sp.Start, sp.Refs, p.Assign[i])
+	}
+	for c, rep := range p.Reps {
+		// %b prints the exact float bit pattern: "identical" means
+		// bit-identical, not approximately equal.
+		fmt.Fprintf(&b, "cluster %d: rep=%d weight=%b\n", c, rep, p.Weights[c])
+	}
+	for _, r := range res.Truth.Ranked() {
+		fmt.Fprintf(&b, "%s %d %.6f\n", r.Object.Name, r.Misses, r.Pct)
+	}
+	fmt.Fprintf(&b, "truth total=%d unmatched=%d\n", res.Truth.Total, res.Truth.Unmatched)
+	fmt.Fprintf(&b, "stats=%+v cycles=%d insts=%d appinsts=%d simrefs=%d\n",
+		res.Stats, res.Cycles, res.Insts, res.AppInsts, res.SimRefs)
+	return b.String()
+}
+
+// TestDeterministicAcrossRunsAndWorkers is the determinism contract:
+// the same workload, budget, and configuration produce byte-identical
+// extrapolated tables — across repeated runs, across worker counts, and
+// with GOMAXPROCS pinned to one (correctness must not depend on real
+// parallelism).
+func TestDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	const budget = 10_000_000
+	apps := []string{"mgrid", "compress"}
+	for _, app := range apps {
+		t.Run(app, func(t *testing.T) {
+			want := renderResult(estimate(t, app, budget, interval.Config{Seed: 3, Workers: 1}))
+			for _, workers := range []int{1, 2, 4, 7} {
+				got := renderResult(estimate(t, app, budget, interval.Config{Seed: 3, Workers: workers}))
+				if got != want {
+					t.Errorf("workers=%d: result diverges from workers=1\nwant:\n%s\ngot:\n%s", workers, want, got)
+				}
+			}
+			prev := runtime.GOMAXPROCS(1)
+			got := renderResult(estimate(t, app, budget, interval.Config{Seed: 3, Workers: 4}))
+			runtime.GOMAXPROCS(prev)
+			if got != want {
+				t.Errorf("GOMAXPROCS=1: result diverges\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSeedChangesClusteringOnly checks the seed's blast radius: a
+// different k-means seed may regroup intervals, but the capture-derived
+// facts — reference totals, span tiling, instruction counts — are
+// seed-independent.
+func TestSeedChangesClusteringOnly(t *testing.T) {
+	const budget = 10_000_000
+	a := estimate(t, "mgrid", budget, interval.Config{Seed: 1})
+	b := estimate(t, "mgrid", budget, interval.Config{Seed: 99})
+	if a.Plan.TotalRefs != b.Plan.TotalRefs || len(a.Plan.Spans) != len(b.Plan.Spans) {
+		t.Errorf("seed changed the interval plan: %d refs/%d spans vs %d refs/%d spans",
+			a.Plan.TotalRefs, len(a.Plan.Spans), b.Plan.TotalRefs, len(b.Plan.Spans))
+	}
+	if a.Insts != b.Insts || a.AppInsts != b.AppInsts {
+		t.Errorf("seed changed exact counters: insts %d vs %d", a.Insts, b.Insts)
+	}
+	checkPlan(t, a, 0)
+	checkPlan(t, b, 0)
+}

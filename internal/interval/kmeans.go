@@ -1,0 +1,202 @@
+package interval
+
+// Deterministic k-means over interval fingerprints. Sources of
+// nondeterminism in textbook k-means — random initialization, tie-broken
+// assignment, empty-cluster repair — are all pinned: initialization is
+// k-means++ driven by a seeded xorshift generator, assignment ties pick
+// the lower cluster index (strict < comparison over clusters scanned in
+// order), and an emptied cluster deterministically steals the point
+// farthest from its centroid. Given the same fingerprints, k, and seed,
+// the assignment and representative choice are identical on every run.
+
+// xorshift64 is the engine's private deterministic generator; the sim
+// packages may not touch math/rand's global state, and seeding behaviour
+// here must never change under a stdlib upgrade.
+type xorshift64 struct{ s uint64 }
+
+func newXorshift(seed int64) *xorshift64 {
+	// Zero would lock the generator at zero; fold the seed through
+	// splitmix-style mixing and pin a nonzero start.
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if s == 0 {
+		s = 0x2545f4914f6cdd1d
+	}
+	return &xorshift64{s: s}
+}
+
+func (x *xorshift64) next() uint64 {
+	s := x.s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.s = s
+	return s
+}
+
+// float returns a uniform float64 in [0, 1).
+func (x *xorshift64) float() float64 {
+	return float64(x.next()>>11) / (1 << 53)
+}
+
+// dist2 is the squared Euclidean distance between two equal-length
+// vectors.
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		t := a[i] - b[i]
+		d += t * t
+	}
+	return d
+}
+
+// clusterVecs clusters the vectors into k groups and picks each group's
+// representative (the member closest to the centroid; ties pick the
+// lower index). It returns the per-vector cluster assignment and the
+// per-cluster representative vector index. k must satisfy
+// 0 <= k <= len(vecs).
+func clusterVecs(vecs [][]float64, k, iters int, seed int64) (assign []int, reps []int) {
+	n := len(vecs)
+	assign = make([]int, n)
+	if k == 0 || n == 0 {
+		return assign, nil
+	}
+	dim := len(vecs[0])
+	rng := newXorshift(seed)
+
+	// k-means++ initialization: first centroid uniform, each further
+	// centroid sampled proportionally to squared distance from the
+	// nearest chosen one.
+	centroids := make([][]float64, k)
+	pick := func(i int) []float64 {
+		c := make([]float64, dim)
+		copy(c, vecs[i])
+		return c
+	}
+	centroids[0] = pick(int(rng.next() % uint64(n)))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = dist2(vecs[i], centroids[0])
+	}
+	for c := 1; c < k; c++ {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		idx := 0
+		if sum > 0 {
+			target := rng.float() * sum
+			for i, d := range d2 {
+				target -= d
+				if target < 0 {
+					idx = i
+					break
+				}
+			}
+		} else {
+			// All points coincide with chosen centroids; spread the rest
+			// deterministically.
+			idx = int(rng.next() % uint64(n))
+		}
+		centroids[c] = pick(idx)
+		for i := range d2 {
+			if d := dist2(vecs[i], centroids[c]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	// Lloyd iterations with deterministic ties and empty-cluster repair.
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for i := range assign {
+		assign[i] = -1
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, dist2(v, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := dist2(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Repair emptied clusters before recomputing centroids: each one
+		// steals the point farthest from its current centroid (scanning
+		// in index order, so ties pick the lower index), which keeps k
+		// effective clusters whenever n >= k.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+		}
+		for _, c := range assign {
+			counts[c]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i, v := range vecs {
+				if counts[assign[i]] <= 1 {
+					continue
+				}
+				if d := dist2(v, centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				break
+			}
+			counts[assign[far]]--
+			assign[far] = c
+			counts[c] = 1
+			changed = true
+		}
+		if !changed && it > 0 {
+			break
+		}
+		for c := range sums {
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, v := range vecs {
+			s := sums[assign[i]]
+			for j, x := range v {
+				s[j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] * inv
+			}
+		}
+	}
+
+	// Representatives: the member closest to its centroid, lowest index
+	// on ties (strict < while scanning in index order).
+	reps = make([]int, k)
+	repD := make([]float64, k)
+	for c := range reps {
+		reps[c] = -1
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		d := dist2(v, centroids[c])
+		if reps[c] < 0 || d < repD[c] {
+			reps[c], repD[c] = i, d
+		}
+	}
+	return assign, reps
+}

@@ -1,0 +1,259 @@
+package interval_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"membottle/internal/interval"
+	"membottle/internal/shard"
+	"membottle/internal/truth"
+	"membottle/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// oracleBudget is the application instruction budget of the differential
+// suite: long enough that the adaptive plan produces a full complement
+// of intervals on every seed app (so the stated bounds reflect real
+// sampling quality, not degenerate tiny traces), short enough that the
+// whole suite stays test-suite-speed. The bounds below are stated for
+// this budget and the default engine configuration; both runs are
+// deterministic, so the suite is exact, not flaky.
+const oracleBudget = 30_000_000
+
+// exactTruth is the differential oracle: the set-sharded engine's
+// bit-exact plain-run accounting (itself differentially tested against
+// the sequential engine).
+func exactTruth(t *testing.T, app string, budget uint64) (*truth.Counter, uint64) {
+	t.Helper()
+	w, err := workload.New(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shard.Run(nil, w, budget, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Truth, res.Stats.Accesses()
+}
+
+// estimate runs the representative-interval engine.
+func estimate(t *testing.T, app string, budget uint64, cfg interval.Config) *interval.Result {
+	t.Helper()
+	w, err := workload.New(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interval.Run(nil, w, budget, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkPlan asserts the sampling-plan invariants every run must satisfy:
+// the intervals tile the captured stream exactly (reference counts sum
+// to the total, which itself must equal the oracle's reference count —
+// capture replays the full workload, so reference totals are exact, not
+// estimated), cluster weights sum to one, and every cluster's
+// representative is a member of that cluster.
+func checkPlan(t *testing.T, res *interval.Result, oracleRefs uint64) {
+	t.Helper()
+	p := res.Plan
+	if oracleRefs != 0 && p.TotalRefs != oracleRefs {
+		t.Errorf("captured %d references, oracle issued %d", p.TotalRefs, oracleRefs)
+	}
+	var sum uint64
+	for i, sp := range p.Spans {
+		if sp.Refs == 0 {
+			t.Errorf("span %d is empty", i)
+		}
+		if sp.Start != sum {
+			t.Errorf("span %d starts at %d, previous spans cover %d", i, sp.Start, sum)
+		}
+		sum += sp.Refs
+	}
+	if sum != p.TotalRefs {
+		t.Errorf("interval refs sum to %d, want total %d", sum, p.TotalRefs)
+	}
+	if len(p.Assign) != len(p.Spans) {
+		t.Fatalf("%d assignments for %d spans", len(p.Assign), len(p.Spans))
+	}
+	var wsum float64
+	for _, w := range p.Weights {
+		wsum += w
+	}
+	if len(p.Spans) > 0 && math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("cluster weights sum to %g, want 1", wsum)
+	}
+	for c, rep := range p.Reps {
+		if rep < 0 || rep >= len(p.Spans) {
+			t.Fatalf("cluster %d representative %d out of range", c, rep)
+		}
+		if p.Assign[rep] != c {
+			t.Errorf("cluster %d representative %d is assigned to cluster %d", c, rep, p.Assign[rep])
+		}
+	}
+	if got := res.Stats.Reads + res.Stats.Writes; got != p.TotalRefs {
+		t.Errorf("stats account for %d references, captured %d", got, p.TotalRefs)
+	}
+}
+
+// bounds is one application's stated accuracy contract against the
+// differential oracle, in percent. Zero skips a bound: on the
+// sparse-miss apps whose smallest reported counters hold a few hundred
+// misses, per-counter relative error is dominated by rounding, so only
+// the total and the top counter are bounded there.
+type bounds struct {
+	total float64 // relative error of the total miss counter
+	top   float64 // relative error of the largest oracle counter
+	max   float64 // worst per-counter relative error (counters >= 1% share)
+}
+
+// appBounds state, per seed app, how far the interval engine's
+// extrapolation may stray from exact ground truth at oracleBudget with
+// the default configuration. The measured errors (deterministic) sit at
+// roughly half these bounds; the slack absorbs future tuning of the
+// clustering without weakening the contract to meaninglessness.
+var appBounds = map[string]bounds{
+	"mgrid":    {total: 0.5, top: 1, max: 1},
+	"figure2":  {total: 0.5, top: 3, max: 5},
+	"tomcatv":  {total: 1, top: 8, max: 15},
+	"swim":     {total: 1, top: 5, max: 12},
+	"su2cor":   {total: 1, top: 15, max: 60},
+	"applu":    {total: 1, top: 6, max: 20},
+	"compress": {total: 5, top: 5, max: 0},
+	"ijpeg":    {total: 1, top: 5, max: 5},
+}
+
+// oracleApps returns the differential suite's app list; -short keeps the
+// three cheapest coverage-distinct apps (dense strided FP, the synthetic
+// phase-change scenario, and the ref-sparse integer code).
+func oracleApps() []string {
+	if testing.Short() {
+		return []string{"mgrid", "figure2", "compress"}
+	}
+	return []string{"tomcatv", "swim", "su2cor", "mgrid", "applu", "compress", "ijpeg", "figure2"}
+}
+
+// TestDifferentialOracle is the engine's accuracy contract: for every
+// seed app, the extrapolated truth tables stay within the stated bounds
+// of the exact engine's, and the sampling plan satisfies its
+// invariants.
+func TestDifferentialOracle(t *testing.T) {
+	for _, app := range oracleApps() {
+		t.Run(app, func(t *testing.T) {
+			oracle, refs := exactTruth(t, app, oracleBudget)
+			res := estimate(t, app, oracleBudget, interval.Config{})
+			checkPlan(t, res, refs)
+			rep := interval.Compare(res.Truth, oracle, 0)
+			b := appBounds[app]
+			if b.total > 0 && rep.TotalRel > b.total {
+				t.Errorf("total miss error %.2f%% exceeds the %.2f%% bound", rep.TotalRel, b.total)
+			}
+			if b.top > 0 && len(rep.Rows) > 0 && rep.Rows[0].Rel > b.top {
+				t.Errorf("top counter %s error %.2f%% exceeds the %.2f%% bound",
+					rep.Rows[0].Name, rep.Rows[0].Rel, b.top)
+			}
+			if b.max > 0 && rep.MaxRel > b.max {
+				t.Errorf("max counter error %.2f%% exceeds the %.2f%% bound", rep.MaxRel, b.max)
+			}
+			// The speedup exists because representatives are a strict
+			// subset of the stream. Only meaningful on traces well past
+			// the warmup budget: ijpeg's compute-dominated trace is so
+			// reference-sparse that warmup replays legitimately exceed it.
+			if res.Plan.TotalRefs > 10*interval.DefaultWarmupRefs &&
+				(res.SimRefs == 0 || res.SimRefs >= res.Plan.TotalRefs) {
+				t.Errorf("simulated %d of %d references — no sampling happened",
+					res.SimRefs, res.Plan.TotalRefs)
+			}
+			if t.Failed() || testing.Verbose() {
+				var buf bytes.Buffer
+				rep.Write(&buf)
+				t.Logf("error report:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestConfigSweep holds the oracle bound across interval sizes and
+// cluster counts: accuracy must degrade gracefully as the sampling gets
+// coarser, not depend on one lucky default. The bound per cell is the
+// app's stated max bound (adaptive default) widened for the coarsest
+// plans, and the plan invariants must hold in every cell.
+func TestConfigSweep(t *testing.T) {
+	apps := []string{"mgrid"}
+	if !testing.Short() {
+		apps = append(apps, "tomcatv")
+	}
+	for _, app := range apps {
+		oracle, refs := exactTruth(t, app, oracleBudget)
+		for _, size := range []int{0, 1 << 16, 1 << 18} {
+			for _, k := range []int{4, 8, 16} {
+				name := fmt.Sprintf("%s/size=%d/k=%d", app, size, k)
+				t.Run(name, func(t *testing.T) {
+					res := estimate(t, app, oracleBudget, interval.Config{IntervalRefs: size, Clusters: k})
+					checkPlan(t, res, refs)
+					if len(res.Reps) > k {
+						t.Errorf("%d representatives for %d requested clusters", len(res.Reps), k)
+					}
+					rep := interval.Compare(res.Truth, oracle, 0)
+					// Coarse plans (few, huge intervals; few clusters) are
+					// allowed more drift than the adaptive default.
+					bound := appBounds[app].max * 2
+					if k == 4 {
+						bound *= 2
+					}
+					if rep.MaxRel > bound {
+						t.Errorf("max counter error %.2f%% exceeds the sweep bound %.2f%%", rep.MaxRel, bound)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenErrorReport pins the full differential error-bound report
+// for every seed app at the default configuration. The engine and the
+// oracle are both deterministic, so the report is byte-stable; any
+// change to capture, planning, clustering, warmup, or extrapolation
+// shows up as a golden diff that must be reviewed (and regenerated with
+// -update) rather than drifting silently.
+func TestGoldenErrorReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-app golden needs the non-short suite")
+	}
+	var buf bytes.Buffer
+	for _, app := range oracleApps() {
+		oracle, _ := exactTruth(t, app, oracleBudget)
+		res := estimate(t, app, oracleBudget, interval.Config{})
+		rep := interval.Compare(res.Truth, oracle, 0)
+		fmt.Fprintf(&buf, "%s (budget %d, %d intervals, %d clusters)\n",
+			app, oracleBudget, len(res.Plan.Spans), len(res.Reps))
+		if err := rep.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join("testdata", "errors.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("error-bound report drifted from golden (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}

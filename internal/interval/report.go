@@ -1,0 +1,99 @@
+package interval
+
+import (
+	"fmt"
+	"io"
+
+	"membottle/internal/truth"
+)
+
+// DefaultMinPct is the oracle share below which per-object counters are
+// excluded from the error report: relative error on a counter holding a
+// handful of misses is dominated by rounding, not by sampling quality.
+const DefaultMinPct = 1.0
+
+// CounterError is one per-object counter's estimate-vs-oracle row.
+type CounterError struct {
+	Name   string
+	Actual uint64
+	Est    uint64
+	// Rel is |Est-Actual|/Actual as a percentage.
+	Rel float64
+}
+
+// ErrorReport quantifies an interval-engine estimate against the full
+// engine's exact accounting — the first-class differential-oracle output
+// the per-app bound tests assert on.
+type ErrorReport struct {
+	// Rows covers every object whose oracle share is at least minPct,
+	// ordered by oracle miss count descending.
+	Rows []CounterError
+	// TotalActual/TotalEst/TotalRel compare the total miss counters.
+	TotalActual uint64
+	TotalEst    uint64
+	TotalRel    float64
+	// MaxRel and MeanRel aggregate the per-counter relative errors,
+	// including the total-miss counter.
+	MaxRel  float64
+	MeanRel float64
+}
+
+func relErr(est, actual uint64) float64 {
+	if actual == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 100
+	}
+	d := float64(est) - float64(actual)
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d / float64(actual)
+}
+
+// Compare builds the error report for an estimate against the oracle.
+// minPct <= 0 selects DefaultMinPct.
+func Compare(est, oracle *truth.Counter, minPct float64) ErrorReport {
+	if minPct <= 0 {
+		minPct = DefaultMinPct
+	}
+	rep := ErrorReport{TotalActual: oracle.Total, TotalEst: est.Total}
+	rep.TotalRel = relErr(est.Total, oracle.Total)
+	rep.MaxRel = rep.TotalRel
+	sum, n := rep.TotalRel, 1
+	for _, row := range oracle.Ranked() {
+		if row.Pct < minPct {
+			continue
+		}
+		name := row.Object.Name
+		ce := CounterError{
+			Name:   name,
+			Actual: row.Misses,
+			Est:    est.Misses(name),
+		}
+		ce.Rel = relErr(ce.Est, ce.Actual)
+		rep.Rows = append(rep.Rows, ce)
+		if ce.Rel > rep.MaxRel {
+			rep.MaxRel = ce.Rel
+		}
+		sum += ce.Rel
+		n++
+	}
+	rep.MeanRel = sum / float64(n)
+	return rep
+}
+
+// Write renders the report as aligned text, one row per counter plus the
+// total, for goldens and CLI output.
+func (r ErrorReport) Write(w io.Writer) error {
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "  %-12s actual %12d  est %12d  err %6.2f%%\n",
+			row.Name, row.Actual, row.Est, row.Rel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-12s actual %12d  est %12d  err %6.2f%%  (max %.2f%%, mean %.2f%%)\n",
+		"(total)", r.TotalActual, r.TotalEst, r.TotalRel, r.MaxRel, r.MeanRel)
+	return err
+}

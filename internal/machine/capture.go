@@ -1,6 +1,10 @@
 package machine
 
-import "membottle/internal/mem"
+import (
+	"math/bits"
+
+	"membottle/internal/mem"
+)
 
 // Capture mode: the machine executes a workload's instruction stream —
 // charging base costs (hit cycles, compute CPI, allocator costs) to the
@@ -24,21 +28,75 @@ type RefSink interface {
 	ConsumeRefs(refs []Ref, cyclesBefore uint64)
 }
 
+// RunSink consumes the application reference stream run-compacted: each
+// entry is a mem.PackRun word covering one maximal run of consecutive
+// references to a single cache line. Compacting in the machine's own
+// capture pass means the stream is walked exactly once however it is
+// stored, and the collapse loses no miss (see mem.PackRun).
+type RunSink interface {
+	// ConsumeRuns receives the next consecutive run entries of the
+	// reference stream, the number of references and writes they cover,
+	// and the machine's virtual cycle count near the first of those
+	// references (delivery-granular, for approximate timestamps). The
+	// slice is reused by the machine; implementations must copy what they
+	// keep before returning. A run can split across deliveries; the split
+	// costs an extra entry, never a changed miss outcome.
+	ConsumeRuns(entries []uint64, refs, writes, cyclesBefore uint64)
+}
+
+// runBufEntries is the run-capture delivery granularity: 32 KiB of
+// entries, small enough to stay cache-resident between the machine's
+// fill and the sink's copy-out.
+const runBufEntries = 1 << 12
+
 // SetCapture switches the machine into (or out of, with nil) capture
 // mode. Capture mode is only meaningful for uninstrumented runs: no
 // cache is simulated, so no misses occur, no PMU events fire, and the
 // OnMiss/OnRef/OnAccess observers are never invoked. Call FlushCapture
 // when the run completes to deliver any buffered scalar references.
+// Mutually exclusive with SetRunCapture.
 func (m *Machine) SetCapture(s RefSink) {
 	m.capture = s
+	m.capturing = s != nil || m.runSink != nil
 	if s != nil && m.capBuf == nil {
 		m.capBuf = make([]Ref, 0, batchChunk)
 	}
 }
 
-// FlushCapture delivers any scalar references still buffered in capture
-// mode. A no-op outside capture mode.
+// SetRunCapture switches the machine into (or out of, with nil)
+// run-compacted capture mode: references flow to the RunSink as packed
+// same-line runs, detected against the machine's own cache line size in
+// the same pass that charges their cost. Mutually exclusive with
+// SetCapture. Call FlushCapture when the run completes to deliver the
+// pending run and any buffered entries.
+func (m *Machine) SetRunCapture(s RunSink) {
+	m.runSink = s
+	m.capturing = s != nil || m.capture != nil
+	if s == nil {
+		return
+	}
+	m.runShift = uint(bits.TrailingZeros(uint(m.Cache.Config().LineSize)))
+	if m.runBuf == nil {
+		m.runBuf = make([]uint64, 0, runBufEntries)
+	}
+	m.runBuf = m.runBuf[:0]
+	m.runLastLine = ^uint64(0)
+	m.runPendCnt, m.runPendWr = 0, 0
+	m.runBufRefs, m.runBufWrites = 0, 0
+}
+
+// FlushCapture delivers anything still staged in capture mode: buffered
+// scalar references (RefSink) or the pending run and buffered entries
+// (RunSink). A no-op outside capture mode.
 func (m *Machine) FlushCapture() {
+	if m.runSink != nil {
+		if m.runPendCnt != 0 {
+			m.flushRun()
+		}
+		m.runLastLine = ^uint64(0)
+		m.deliverRuns()
+		return
+	}
 	if m.capture != nil {
 		m.flushCapBuf()
 	}
@@ -49,6 +107,10 @@ func (m *Machine) FlushCapture() {
 // its payload (preserving the Ref stream's "compute follows reference"
 // shape without a sink call per reference).
 func (m *Machine) captureRef(a mem.Addr, write bool) {
+	if m.runSink != nil {
+		m.captureRunRef(a, write)
+		return
+	}
 	if m.stopErr != nil {
 		return
 	}
@@ -74,6 +136,10 @@ func (m *Machine) captureRef(a mem.Addr, write bool) {
 // captureBatch is the capture-mode batched path: one pass sums the
 // compute payloads for the clock, then the whole slice goes to the sink.
 func (m *Machine) captureBatch(refs []Ref) {
+	if m.runSink != nil {
+		m.captureRunBatch(refs)
+		return
+	}
 	if m.stopErr != nil || len(refs) == 0 {
 		return
 	}
@@ -104,4 +170,209 @@ func (m *Machine) flushCapBuf() {
 	}
 	m.capture.ConsumeRefs(m.capBuf, m.capCyc0)
 	m.capBuf = m.capBuf[:0]
+}
+
+// captureRunRef is the run-capture scalar path: charge the base cost,
+// then fold the reference into the pending same-line run, emitting a
+// packed entry only when the line changes (or a run saturates). The
+// write tally rides on the pending run so delivered (entries, refs,
+// writes) triples always agree.
+func (m *Machine) captureRunRef(a mem.Addr, write bool) {
+	if m.stopErr != nil {
+		return
+	}
+	m.Insts++
+	if !m.inHandler {
+		m.AppInsts++
+	}
+	if m.runBufRefs == 0 && m.runPendCnt == 0 {
+		m.runCyc0 = m.Cycles
+	}
+	m.Cycles += m.Cost.HitCycles
+	line := uint64(a) >> m.runShift
+	if line == m.runLastLine && m.runPendCnt < mem.MaxRunLen {
+		m.runPendCnt++
+	} else {
+		if m.runPendCnt != 0 {
+			m.flushRun()
+		}
+		m.runPendAddr, m.runLastLine, m.runPendCnt = a, line, 1
+	}
+	if write {
+		m.runPendWr++
+	}
+	if m.runCtx != nil {
+		if m.pollIn--; m.pollIn <= 0 {
+			m.pollCtx()
+		}
+	}
+}
+
+// captureRunBatch is the run-capture batched path: one fused pass sums
+// the compute payloads for the clock and folds every reference into the
+// pending run. This single loop is the whole per-reference cost of the
+// representative-interval engine's capture, so it works on locals and
+// writes machine state back once per chunk.
+func (m *Machine) captureRunBatch(refs []Ref) {
+	if m.stopErr != nil || len(refs) == 0 {
+		return
+	}
+	if m.runBufRefs == 0 && m.runPendCnt == 0 {
+		m.runCyc0 = m.Cycles
+	}
+	lastLine, pendCnt := m.runLastLine, m.runPendCnt
+	pendAddr, pendWr := m.runPendAddr, m.runPendWr
+	shift := m.runShift
+	var compute uint64
+	total := uint64(len(refs))
+	for len(refs) > 0 {
+		free := cap(m.runBuf) - len(m.runBuf)
+		if free == 0 {
+			m.deliverRuns()
+			continue
+		}
+		chunk := refs
+		if len(chunk) > free {
+			chunk = chunk[:free]
+		}
+		// Each reference appends at most one entry, so a chunk bounded by
+		// the buffer's free space needs no capacity checks inside the loop.
+		buf := m.runBuf
+		bufRefs, bufWr := m.runBufRefs, m.runBufWrites
+		for i := range chunk {
+			r := &chunk[i]
+			compute += r.Compute
+			line := uint64(r.Addr) >> shift
+			if line == lastLine && pendCnt < mem.MaxRunLen {
+				pendCnt++
+			} else {
+				if pendCnt != 0 {
+					buf = append(buf, mem.PackRun(pendAddr, pendCnt))
+					bufRefs += uint64(pendCnt)
+					bufWr += pendWr
+				}
+				pendAddr, lastLine, pendCnt = r.Addr, line, 1
+				pendWr = 0
+			}
+			if r.Write {
+				pendWr++
+			}
+		}
+		m.runBuf = buf
+		m.runBufRefs, m.runBufWrites = bufRefs, bufWr
+		refs = refs[len(chunk):]
+	}
+	m.runLastLine, m.runPendCnt = lastLine, pendCnt
+	m.runPendAddr, m.runPendWr = pendAddr, pendWr
+	insts := total + compute
+	m.Insts += insts
+	if !m.inHandler {
+		m.AppInsts += insts
+	}
+	m.Cycles += total*m.Cost.HitCycles + compute*m.Cost.ComputeCPI
+	if len(m.runBuf) == cap(m.runBuf) {
+		m.deliverRuns()
+	}
+	if m.runCtx != nil {
+		m.pollIn -= int(total)
+		if m.pollIn <= 0 {
+			m.pollCtx()
+		}
+	}
+}
+
+// captureRunRange is the run-capture fast path for the strided range
+// helpers: a strided sweep's same-line runs are arithmetic, so the
+// entries are computed per run — never per reference — and the whole
+// range's cost is one bulk charge. The resulting entry stream is
+// bit-identical to feeding the same references through the per-reference
+// capture path (the machine capture tests enforce it).
+func (m *Machine) captureRunRange(base mem.Addr, bytes, stride, computePer uint64, write bool) {
+	if m.stopErr != nil || bytes == 0 {
+		return
+	}
+	n := (bytes + stride - 1) / stride
+	if m.runBufRefs == 0 && m.runPendCnt == 0 {
+		m.runCyc0 = m.Cycles
+	}
+	insts := n + n*computePer
+	m.Insts += insts
+	if !m.inHandler {
+		m.AppInsts += insts
+	}
+	m.Cycles += n*m.Cost.HitCycles + n*computePer*m.Cost.ComputeCPI
+	shift := m.runShift
+	off, end := uint64(base), uint64(base)+bytes
+	for off < end {
+		line := off >> shift
+		stop := (line + 1) << shift
+		if stop > end {
+			stop = end
+		}
+		cnt := (stop - off + stride - 1) / stride
+		m.foldRun(mem.Addr(off), line, cnt, stride, write)
+		off += cnt * stride
+	}
+	if m.runCtx != nil {
+		m.pollIn -= int(n)
+		if m.pollIn <= 0 {
+			m.pollCtx()
+		}
+	}
+}
+
+// foldRun folds cnt consecutive same-line references (addr, addr+stride,
+// ...) into the pending run, splitting at MaxRunLen with exactly the
+// entry boundaries and portion addresses the per-reference path would
+// produce.
+func (m *Machine) foldRun(addr mem.Addr, line, cnt, stride uint64, write bool) {
+	if line != m.runLastLine {
+		if m.runPendCnt != 0 {
+			m.flushRun()
+		}
+		m.runLastLine = line
+	}
+	for cnt > 0 {
+		if m.runPendCnt == mem.MaxRunLen {
+			m.flushRun()
+		}
+		if m.runPendCnt == 0 {
+			m.runPendAddr = addr
+		}
+		take := uint64(mem.MaxRunLen - m.runPendCnt)
+		if take > cnt {
+			take = cnt
+		}
+		m.runPendCnt += int(take)
+		if write {
+			m.runPendWr += take
+		}
+		cnt -= take
+		addr += mem.Addr(take * stride)
+	}
+}
+
+// flushRun moves the pending run into the entry buffer, delivering the
+// buffer when it fills. Callers start a new pending run (or reset the
+// line sentinel) afterwards.
+func (m *Machine) flushRun() {
+	m.runBuf = append(m.runBuf, mem.PackRun(m.runPendAddr, m.runPendCnt))
+	m.runBufRefs += uint64(m.runPendCnt)
+	m.runBufWrites += m.runPendWr
+	m.runPendCnt, m.runPendWr = 0, 0
+	if len(m.runBuf) == cap(m.runBuf) {
+		m.deliverRuns()
+	}
+}
+
+// deliverRuns hands the buffered entries (never a partially accumulated
+// pending run) to the sink and resets the delivery-span tallies.
+func (m *Machine) deliverRuns() {
+	if len(m.runBuf) == 0 {
+		return
+	}
+	m.runSink.ConsumeRuns(m.runBuf, m.runBufRefs, m.runBufWrites, m.runCyc0)
+	m.runBuf = m.runBuf[:0]
+	m.runBufRefs, m.runBufWrites = 0, 0
+	m.runCyc0 = m.Cycles
 }

@@ -136,13 +136,29 @@ type Machine struct {
 	inHandler bool
 	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
 
-	// Capture mode (see capture.go): when capture is non-nil every
-	// reference bypasses the cache and flows to the sink instead; capBuf
-	// stages scalar references so trailing Compute calls can fold into
+	// Capture mode (see capture.go): when capturing is set every
+	// reference bypasses the cache and flows to a sink instead — either
+	// the per-reference RefSink (capture) or the run-compacting RunSink
+	// (runSink); the two are mutually exclusive. capBuf stages scalar
+	// references for the RefSink so trailing Compute calls can fold into
 	// their payloads, and capCyc0 is the cycle count before capBuf[0].
-	capture RefSink
-	capBuf  []Ref
-	capCyc0 uint64
+	// The run* fields hold the RunSink's pending same-line run, its entry
+	// buffer, and the delivery-span tallies (see captureRunBatch).
+	capturing bool
+	capture   RefSink
+	capBuf    []Ref
+	capCyc0   uint64
+
+	runSink      RunSink
+	runBuf       []uint64
+	runShift     uint
+	runLastLine  uint64
+	runPendAddr  mem.Addr
+	runPendCnt   int
+	runPendWr    uint64
+	runBufRefs   uint64
+	runBufWrites uint64
+	runCyc0      uint64
 
 	// obsWinRefs/obsWinMisses mark the cache stats at the previous
 	// interrupt delivery, so deliver() can record per-window totals.
@@ -175,7 +191,7 @@ func (m *Machine) Load(a mem.Addr) { m.access(a, false) }
 func (m *Machine) Store(a mem.Addr) { m.access(a, true) }
 
 func (m *Machine) access(a mem.Addr, write bool) {
-	if m.capture != nil {
+	if m.capturing {
 		m.captureRef(a, write)
 		return
 	}
@@ -222,10 +238,12 @@ func (m *Machine) Compute(n uint64) {
 		m.AppInsts += n
 	}
 	m.Cycles += n * m.Cost.ComputeCPI
-	if m.capture != nil {
-		// Fold into the pending reference's payload so the sink sees the
-		// same Ref stream an AccessBatch caller would have produced; the
-		// clock and instruction counters were already charged above.
+	if m.capturing {
+		// Fold into the pending reference's payload so the RefSink sees
+		// the same Ref stream an AccessBatch caller would have produced
+		// (run-compacted capture carries no compute payloads, and capBuf
+		// stays empty there); the clock and instruction counters were
+		// already charged above.
 		if len(m.capBuf) > 0 {
 			m.capBuf[len(m.capBuf)-1].Compute += n
 		}
@@ -473,7 +491,7 @@ const batchChunk = 1024
 //
 //mb:hotpath machine half of the batched engine; one obs nil check per batch
 func (m *Machine) AccessBatch(refs []Ref) {
-	if m.capture != nil {
+	if m.capturing {
 		m.captureBatch(refs)
 		return
 	}
@@ -627,6 +645,12 @@ func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, wri
 				m.Compute(computePer)
 			}
 		}
+		return
+	}
+	if m.runSink != nil {
+		// Run-compacted capture never needs the materialized Ref slice:
+		// the strided range folds straight into packed run entries.
+		m.captureRunRange(base, bytes, stride, computePer, write)
 		return
 	}
 	buf := m.takeBatch()

@@ -1,0 +1,255 @@
+package machine
+
+import (
+	"testing"
+
+	"membottle/internal/cache"
+	"membottle/internal/mem"
+	"membottle/internal/pmu"
+)
+
+// refCollect copies out everything a RefSink is handed.
+type refCollect struct {
+	refs []Ref
+}
+
+func (c *refCollect) ConsumeRefs(refs []Ref, _ uint64) {
+	c.refs = append(c.refs, refs...)
+}
+
+// runCollect copies out everything a RunSink is handed and tallies the
+// delivery metadata.
+type runCollect struct {
+	entries    []uint64
+	refs       uint64
+	writes     uint64
+	deliveries int
+}
+
+func (c *runCollect) ConsumeRuns(entries []uint64, refs, writes, _ uint64) {
+	c.entries = append(c.entries, entries...)
+	c.refs += refs
+	c.writes += writes
+	c.deliveries++
+}
+
+// compactRefs is an independent reference implementation of run
+// compaction: group consecutive same-line references, splitting at
+// MaxRunLen, each entry carrying the run's first address.
+func compactRefs(refs []Ref, lineShift uint) (entries []uint64, writes uint64) {
+	lastLine := ^uint64(0)
+	var pendAddr mem.Addr
+	pendCnt := 0
+	flush := func() {
+		if pendCnt > 0 {
+			entries = append(entries, mem.PackRun(pendAddr, pendCnt))
+			pendCnt = 0
+		}
+	}
+	for _, r := range refs {
+		if r.Write {
+			writes++
+		}
+		line := uint64(r.Addr) >> lineShift
+		if line == lastLine && pendCnt < mem.MaxRunLen {
+			pendCnt++
+			continue
+		}
+		flush()
+		lastLine = line
+		pendAddr, pendCnt = r.Addr, 1
+	}
+	flush()
+	return entries, writes
+}
+
+// driveCapture runs the same synthetic reference program — scalar loads
+// and stores, batched refs, strided ranges, interleaved compute — on a
+// fresh capture machine.
+func driveCapture(t *testing.T, sinkRun RunSink, sinkRef RefSink) *Machine {
+	t.Helper()
+	space := mem.NewSpace()
+	m := New(space, cache.New(cache.Config{Size: 1 << 14, LineSize: 64, Assoc: 4}), pmu.New(0), DefaultCosts())
+	if sinkRun != nil {
+		m.SetRunCapture(sinkRun)
+	}
+	if sinkRef != nil {
+		m.SetCapture(sinkRef)
+	}
+	base, err := m.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar runs with line changes and a run longer than MaxRunLen.
+	for i := 0; i < 300; i++ {
+		m.Load(base) // same line 300 times: must split at 256
+	}
+	for i := 0; i < 40; i++ {
+		m.Store(base + mem.Addr(i*8)) // 8 per line across 5 lines
+		m.Compute(2)
+	}
+	// Batched refs with mixed lines and writes.
+	refs := make([]Ref, 0, 600)
+	for i := 0; i < 600; i++ {
+		refs = append(refs, Ref{Addr: base + mem.Addr(i%96*16), Write: i%7 == 0, Compute: uint64(i % 3)})
+	}
+	m.AccessBatch(refs)
+	// Strided ranges: dense (8B stride), line-width (64B), and an uneven
+	// 24B stride that splits 3/3/2 across lines; loads and stores.
+	m.LoadRange(base, 64<<10, 8, 0)
+	m.StoreRange(base+128, 32<<10, 64, 1)
+	m.LoadRange(base+4, 48<<10, 24, 2)
+	m.FlushCapture()
+	return m
+}
+
+// TestRunCaptureMatchesRefCapture is the run-capture correctness
+// contract: the RunSink's compacted stream must expand to exactly the
+// RefSink's reference stream — entry for entry against an independent
+// compaction of the captured references — with identical reference,
+// write, instruction, and cycle totals. This covers every capture path
+// at once: scalar, batched, and the analytic range fast path (which
+// never materializes per-reference work but must emit a bit-identical
+// entry stream).
+func TestRunCaptureMatchesRefCapture(t *testing.T) {
+	var rc refCollect
+	mRef := driveCapture(t, nil, &rc)
+	var run runCollect
+	mRun := driveCapture(t, &run, nil)
+
+	if run.refs != uint64(len(rc.refs)) {
+		t.Fatalf("run capture covered %d refs, ref capture %d", run.refs, len(rc.refs))
+	}
+	wantEntries, wantWrites := compactRefs(rc.refs, 6)
+	if run.writes != wantWrites {
+		t.Errorf("run capture tallied %d writes, reference stream holds %d", run.writes, wantWrites)
+	}
+	if len(run.entries) != len(wantEntries) {
+		t.Fatalf("run capture produced %d entries, reference compaction %d", len(run.entries), len(wantEntries))
+	}
+	for i := range wantEntries {
+		if run.entries[i] != wantEntries[i] {
+			ga, gn := mem.UnpackRun(run.entries[i])
+			wa, wn := mem.UnpackRun(wantEntries[i])
+			t.Fatalf("entry %d: got addr=%#x len=%d, want addr=%#x len=%d", i, ga, gn, wa, wn)
+		}
+	}
+	if mRun.Cycles != mRef.Cycles || mRun.Insts != mRef.Insts || mRun.AppInsts != mRef.AppInsts {
+		t.Errorf("charging diverged: run capture cycles=%d insts=%d appinsts=%d, ref capture %d/%d/%d",
+			mRun.Cycles, mRun.Insts, mRun.AppInsts, mRef.Cycles, mRef.Insts, mRef.AppInsts)
+	}
+}
+
+// TestRunCaptureRangeMatchesScalar pins the analytic range path
+// specifically: a strided LoadRange/StoreRange must produce the same
+// entry stream, tallies, and charges as the equivalent per-reference
+// loop, including when runs split at MaxRunLen and when a pending run
+// carries across the range call boundary.
+func TestRunCaptureRangeMatchesScalar(t *testing.T) {
+	build := func(useRange bool) (*Machine, *runCollect) {
+		var sink runCollect
+		space := mem.NewSpace()
+		m := New(space, cache.New(cache.Config{Size: 1 << 14, LineSize: 64, Assoc: 4}), pmu.New(0), DefaultCosts())
+		m.SetRunCapture(&sink)
+		base := m.MustMalloc(1 << 20)
+		m.Load(base) // pending run carries into the range
+		for _, c := range []struct {
+			off, bytes, stride, compute uint64
+			write                       bool
+		}{
+			{0, 64 << 10, 8, 0, false},
+			{128, 32 << 10, 64, 1, true},
+			{4, 48 << 10, 24, 2, false},
+			{0, 40_000, 8, 0, false}, // same line as the pending run's tail
+		} {
+			if useRange {
+				if c.write {
+					m.StoreRange(base+mem.Addr(c.off), c.bytes, c.stride, c.compute)
+				} else {
+					m.LoadRange(base+mem.Addr(c.off), c.bytes, c.stride, c.compute)
+				}
+				continue
+			}
+			for off := uint64(0); off < c.bytes; off += c.stride {
+				a := base + mem.Addr(c.off+off)
+				if c.write {
+					m.Store(a)
+				} else {
+					m.Load(a)
+				}
+				if c.compute > 0 {
+					m.Compute(c.compute)
+				}
+			}
+		}
+		m.FlushCapture()
+		return m, &sink
+	}
+
+	mr, ranged := build(true)
+	ms, scalar := build(false)
+	if ranged.refs != scalar.refs || ranged.writes != scalar.writes {
+		t.Fatalf("range path covered %d refs / %d writes, scalar %d / %d",
+			ranged.refs, ranged.writes, scalar.refs, scalar.writes)
+	}
+	if len(ranged.entries) != len(scalar.entries) {
+		t.Fatalf("range path produced %d entries, scalar %d", len(ranged.entries), len(scalar.entries))
+	}
+	for i := range scalar.entries {
+		if ranged.entries[i] != scalar.entries[i] {
+			ga, gn := mem.UnpackRun(ranged.entries[i])
+			wa, wn := mem.UnpackRun(scalar.entries[i])
+			t.Fatalf("entry %d: range addr=%#x len=%d, scalar addr=%#x len=%d", i, ga, gn, wa, wn)
+		}
+	}
+	if mr.Cycles != ms.Cycles || mr.Insts != ms.Insts || mr.AppInsts != ms.AppInsts {
+		t.Errorf("charging diverged: range cycles=%d insts=%d appinsts=%d, scalar %d/%d/%d",
+			mr.Cycles, mr.Insts, mr.AppInsts, ms.Cycles, ms.Insts, ms.AppInsts)
+	}
+}
+
+// TestRunCaptureDeliveryBoundaries checks the delivery bookkeeping: the
+// per-delivery (entries, refs, writes) triples must always agree with
+// each other (a pending run is never split across a delivery by the
+// buffer filling up — only FlushCapture splits it), and a mid-stream
+// FlushCapture must not mis-attribute the next run to a stale address.
+func TestRunCaptureDeliveryBoundaries(t *testing.T) {
+	var sink runCollect
+	space := mem.NewSpace()
+	m := New(space, cache.New(cache.Config{Size: 1 << 14, LineSize: 64, Assoc: 4}), pmu.New(0), DefaultCosts())
+	m.SetRunCapture(&sink)
+	base := m.MustMalloc(1 << 20)
+
+	// Enough single-ref runs to force several buffer deliveries
+	// (runBufEntries entries per delivery), alternating lines so no run
+	// grows past one reference.
+	n := 3*runBufEntries + 17
+	for i := 0; i < n; i++ {
+		m.Load(base + mem.Addr(i%2*64+i/2*128))
+	}
+	m.FlushCapture()
+	if sink.deliveries < 3 {
+		t.Fatalf("expected several deliveries, got %d", sink.deliveries)
+	}
+	if sink.refs != uint64(n) || len(sink.entries) != n {
+		t.Fatalf("delivered %d refs in %d entries, want %d single-ref runs", sink.refs, len(sink.entries), n)
+	}
+
+	// Flush mid-run, then touch a different line: the entry after the
+	// flush must carry the new address, not extend the flushed run.
+	sink = runCollect{}
+	m.SetRunCapture(&sink)
+	m.Load(base)
+	m.Load(base)
+	m.FlushCapture()
+	m.Load(base + 64)
+	m.FlushCapture()
+	if len(sink.entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(sink.entries))
+	}
+	a0, n0 := mem.UnpackRun(sink.entries[0])
+	a1, n1 := mem.UnpackRun(sink.entries[1])
+	if a0 != base || n0 != 2 || a1 != base+64 || n1 != 1 {
+		t.Errorf("entries (%#x,%d) (%#x,%d), want (%#x,2) (%#x,1)", a0, n0, a1, n1, base, base+64)
+	}
+}

@@ -47,6 +47,12 @@ type Obs struct {
 	ShardChunks     *Counter   // shard.chunks: trace chunks streamed to workers
 	ShardWorkerRefs *Histogram // shard.worker_refs: references replayed per worker
 	ShardWorkerMiss *Histogram // shard.worker_misses: misses attributed per worker
+
+	// Representative-interval engine instruments.
+	IntervalRuns      *Counter // interval.runs: plain runs served by the interval engine
+	IntervalFallbacks *Counter // interval.fallbacks: runs demoted to an exact engine
+	IntervalCount     *Counter // interval.intervals: intervals fingerprinted across runs
+	IntervalRepSims   *Counter // interval.rep_sims: cluster representatives simulated
 }
 
 // Options configures New.
@@ -97,6 +103,10 @@ func New(opt Options) *Obs {
 	o.ShardChunks = r.Counter("shard.chunks")
 	o.ShardWorkerRefs = r.Histogram("shard.worker_refs", WindowBuckets)
 	o.ShardWorkerMiss = r.Histogram("shard.worker_misses", WindowBuckets)
+	o.IntervalRuns = r.Counter("interval.runs")
+	o.IntervalFallbacks = r.Counter("interval.fallbacks")
+	o.IntervalCount = r.Counter("interval.intervals")
+	o.IntervalRepSims = r.Counter("interval.rep_sims")
 	return o
 }
 

@@ -33,19 +33,34 @@ const (
 	// EvSample is one miss-address sample; A is the sampled address, B is
 	// 1 when it resolved to a known object.
 	EvSample
+	// EvIntervalFingerprint is one interval fingerprinted by the
+	// representative-interval engine; A is the interval index, B its
+	// reference count. Cycle is the capture clock at the nearest recorded
+	// batch boundary at or before the interval's first reference.
+	EvIntervalFingerprint
+	// EvIntervalCluster is one k-means cluster formed over interval
+	// fingerprints; A is the cluster index, B its member count.
+	EvIntervalCluster
+	// EvRepresentativeSim is one cluster representative simulated; A is
+	// the representative's interval index, B its measured miss count.
+	// Cycle is as for EvIntervalFingerprint.
+	EvRepresentativeSim
 	evKindEnd // sentinel; keep last
 )
 
 // kindNames is the stable wire vocabulary of the JSONL export; the decoder
 // rejects anything else.
 var kindNames = map[EventKind]string{
-	EvInterrupt:     "irq",
-	EvRegionSplit:   "region-split",
-	EvCounterClamp:  "counter-clamp",
-	EvSanitizeSweep: "sanitize-sweep",
-	EvCheckpoint:    "checkpoint",
-	EvSearchRound:   "search-round",
-	EvSample:        "sample",
+	EvInterrupt:           "irq",
+	EvRegionSplit:         "region-split",
+	EvCounterClamp:        "counter-clamp",
+	EvSanitizeSweep:       "sanitize-sweep",
+	EvCheckpoint:          "checkpoint",
+	EvSearchRound:         "search-round",
+	EvSample:              "sample",
+	EvIntervalFingerprint: "interval-fingerprint",
+	EvIntervalCluster:     "interval-cluster",
+	EvRepresentativeSim:   "representative-sim",
 }
 
 var kindByName = func() map[string]EventKind {

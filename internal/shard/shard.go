@@ -326,7 +326,7 @@ func Run(ctx context.Context, w machine.Workload, budget uint64, cfg Config) (*R
 	// once per worker. Any space mutation after this point invalidates
 	// the snapshots, so it demotes the run to the sequential engine.
 	dirty := false
-	armDirtyObservers(space, &dirty)
+	ArmDirtyObservers(space, &dirty)
 
 	poolCap := shards * chunksPerShard
 	snk.pool = make(chan *chunk, poolCap)
@@ -466,9 +466,12 @@ func flushObs(o *obs.Obs, res *Result, workers []*worker) {
 	}
 }
 
-// armDirtyObservers chains mutation detectors onto every address-space
+// ArmDirtyObservers chains mutation detectors onto every address-space
 // observer the object map listens to, preserving the map's own hooks.
-func armDirtyObservers(space *mem.Space, dirty *bool) {
+// Any capture-based engine whose resolvers snapshot a frozen object map
+// (this one, and the representative-interval engine) arms these after
+// Setup and demotes the run to the sequential engine when one fires.
+func ArmDirtyObservers(space *mem.Space, dirty *bool) {
 	prevAlloc := space.AllocObserver
 	space.AllocObserver = func(base mem.Addr, size uint64) {
 		if prevAlloc != nil {
