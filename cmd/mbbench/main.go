@@ -48,6 +48,7 @@ type Result struct {
 	NsPerRef        float64 `json:"ns_per_ref"`
 	RefsPerSec      float64 `json:"refs_per_sec"`
 	Allocs          uint64  `json:"allocs"`
+	Bytes           uint64  `json:"bytes,omitempty"`
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar,omitempty"`
 	// MaxRelErr is the worst per-counter relative error of an approximate
 	// mode against the exact baseline, in percent; only the -intervals
@@ -79,6 +80,8 @@ func main() {
 		minSpd  = flag.Float64("min-speedup", 0, "with -truth or -intervals: exit nonzero unless the aggregate speedup reaches this floor (CI gate)")
 		intAB   = flag.Bool("intervals", false, "measure the representative-interval engine instead: full-run ground truth vs interval extrapolation, with accuracy reported per app")
 		maxErr  = flag.Float64("max-rel-err", 0, "with -intervals: exit nonzero if any app's max per-counter relative error exceeds this percentage (CI accuracy gate)")
+		allocAB = flag.Bool("alloc", false, "measure steady-state heap allocations instead: one warmup leg, then a measured continuation leg reporting allocs and bytes")
+		maxAll  = flag.Float64("max-steady-allocs", -1, "with -alloc: exit nonzero if any configuration's steady-state leg exceeds this many heap allocations (CI gate; 0 demands an allocation-free steady state)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,10 @@ func main() {
 	}
 	if *intAB {
 		runIntervalBench(apps, b, *reps, *outDir, *minSpd, *maxErr)
+		return
+	}
+	if *allocAB {
+		runAllocBench(apps, b, *outDir, *maxAll)
 		return
 	}
 
@@ -176,11 +183,12 @@ func measureModes(workload, app string, reps int, modes []string, run func(app, 
 	refsSeen := make([]uint64, len(modes))
 	wallNs := make([]int64, len(modes))
 	allocs := make([]uint64, len(modes))
+	bytes := make([]uint64, len(modes))
 	for rep := 0; rep < reps; rep++ {
 		for mi, mode := range modes {
 			var repRefs uint64
 			var err error
-			repNs, repAllocs := measure(func() {
+			repNs, repAllocs, repBytes := measure(func() {
 				repRefs, err = run(app, mode)
 			})
 			if err != nil {
@@ -191,7 +199,7 @@ func measureModes(workload, app string, reps int, modes []string, run func(app, 
 					workload, app, mode, refsSeen[mi], repRefs)
 			}
 			if rep == 0 || repNs < wallNs[mi] {
-				wallNs[mi], allocs[mi] = repNs, repAllocs
+				wallNs[mi], allocs[mi], bytes[mi] = repNs, repAllocs, repBytes
 			}
 			refsSeen[mi] = repRefs
 		}
@@ -200,7 +208,7 @@ func measureModes(workload, app string, reps int, modes []string, run func(app, 
 	for mi, mode := range modes {
 		out = append(out, Result{
 			Workload: workload, App: app, Mode: mode,
-			Refs: refsSeen[mi], WallNs: wallNs[mi], Allocs: allocs[mi],
+			Refs: refsSeen[mi], WallNs: wallNs[mi], Allocs: allocs[mi], Bytes: bytes[mi],
 			NsPerRef:   float64(wallNs[mi]) / float64(refsSeen[mi]),
 			RefsPerSec: float64(refsSeen[mi]) / (float64(wallNs[mi]) / 1e9),
 		})
@@ -364,6 +372,85 @@ func runIntervalBench(apps []string, budget uint64, reps int, outDir string, min
 	}
 }
 
+// runAllocBench is the -alloc mode: a steady-state allocation census
+// rather than a timing race. Each configuration runs one warmup leg —
+// first-touch work (hotbuf pool priming, lazy tables, capture buffers)
+// is real but happens once per process — then a measured continuation
+// leg of the same length, reporting heap allocations and bytes for the
+// steady leg alone. The alloc-gate tests prove the per-call paths are
+// allocation-free in isolation; this family proves the same end to end
+// through System.Run, with interrupts landing mid-batch in the figure3
+// configuration. -max-steady-allocs turns the census into a CI gate.
+//
+// The gate ceiling should be a small number, not literally zero: the
+// census counts process-wide mallocs, and a GC cycle landing inside a
+// multi-hundred-millisecond leg can contribute a handful of
+// runtime-internal allocations that have nothing to do with the
+// simulator (observed: one 16-byte alloc, dependent only on the heap
+// history of earlier legs in the same process). The per-op
+// AllocsPerRun gates in the alloc_gate_test suites are the strict-zero
+// contract; this family catches per-reference or per-interrupt leaks,
+// which would show up as thousands of allocations, not single digits.
+func runAllocBench(apps []string, budget uint64, outDir string, maxSteady float64) {
+	configs := []struct {
+		name  string
+		setup func(app string) (*membottle.System, error)
+	}{
+		{"table1", func(app string) (*membottle.System, error) {
+			sys := newSystem(false, false)
+			return sys, sys.LoadWorkloadByName(app)
+		}},
+		{"figure3", func(app string) (*membottle.System, error) {
+			sys := newSystem(false, false)
+			if err := sys.LoadWorkloadByName(app); err != nil {
+				return nil, err
+			}
+			return sys, sys.Attach(membottle.NewSampler(membottle.SamplerConfig{Interval: 2_000}))
+		}},
+	}
+	file := File{Workload: "alloc", Budget: budget}
+	var worst Result
+	for _, cfg := range configs {
+		for _, app := range apps {
+			sys, err := cfg.setup(app)
+			if err != nil {
+				fatal(err)
+			}
+			sys.Run(budget / 2) // warmup leg: absolute budgets make the second Run a continuation
+			refsBefore := sys.Machine.Cache.Stats.Accesses()
+			wall, mallocs, heapBytes := measure(func() { sys.Run(budget) })
+			refs := sys.Machine.Cache.Stats.Accesses() - refsBefore
+			r := Result{
+				Workload: "alloc", App: app, Mode: cfg.name + "-steady",
+				Refs: refs, WallNs: wall, Allocs: mallocs, Bytes: heapBytes,
+				NsPerRef:   float64(wall) / float64(refs),
+				RefsPerSec: float64(refs) / (float64(wall) / 1e9),
+			}
+			fmt.Printf("%-8s %-9s %-15s %12d refs  %6d allocs  %8d bytes\n",
+				"alloc", app, r.Mode, r.Refs, r.Allocs, r.Bytes)
+			if r.Allocs > worst.Allocs {
+				worst = r
+			}
+			file.Results = append(file.Results, r)
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_alloc.json")
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("%-8s worst steady leg: %s/%s, %d allocs, %d bytes\n",
+		"alloc", worst.App, worst.Mode, worst.Allocs, worst.Bytes)
+	if maxSteady >= 0 && float64(worst.Allocs) > maxSteady {
+		fatal(fmt.Errorf("%s/%s steady-state leg made %d heap allocations, above the %.0f ceiling",
+			worst.App, worst.Mode, worst.Allocs, maxSteady))
+	}
+}
+
 // runObsBench is the -obs mode: both sides run the batched engine; the
 // A side has no obs bundle attached, the B side records metrics and
 // events. The interesting number is the ratio per family — table1 is the
@@ -445,8 +532,8 @@ func runSampledObs(app string, withObs bool, budget uint64) (uint64, error) {
 	return sys.Machine.Cache.Stats.Accesses(), nil
 }
 
-// measure times fn and reports (wall ns, heap allocations).
-func measure(fn func()) (int64, uint64) {
+// measure times fn and reports (wall ns, heap allocations, heap bytes).
+func measure(fn func()) (int64, uint64, uint64) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -454,7 +541,7 @@ func measure(fn func()) (int64, uint64) {
 	fn()
 	wall := time.Since(start).Nanoseconds()
 	runtime.ReadMemStats(&after)
-	return wall, after.Mallocs - before.Mallocs
+	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
 }
 
 func newSystem(scalar, skipTruth bool) *membottle.System {

@@ -37,7 +37,7 @@ import (
 // version identifies the analyzer build in CI logs. Bump when rules are
 // added or their semantics change, so a new failure in CI can be read
 // next to the analyzer change that caused it.
-const version = "mbvet 1.0.0 (13 rules, stdlib go/types)"
+const version = "mbvet 1.1.0 (17 rules, stdlib go/types)"
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")

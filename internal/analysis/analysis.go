@@ -9,9 +9,11 @@
 // Everything here is built on the standard library's go/parser, go/ast,
 // and go/types packages only (no x/tools), matching the repo's
 // stdlib-only rule. Four rule families ship today: determinism
-// (det-*), hot-path discipline (hp-*), concurrency hygiene (conc-*),
-// and error conventions (err-*), plus mb-directive for malformed
-// //mb: comments. See the Rules table for the catalog.
+// (det-*), hot-path discipline (hp-*, including the hp-alloc-* rules
+// that hold //mb:hotpath functions to the zero-allocation steady-state
+// contract), concurrency hygiene (conc-*), and error conventions
+// (err-*), plus mb-directive for malformed //mb: comments. See the
+// Rules table for the catalog.
 package analysis
 
 import (
@@ -58,6 +60,10 @@ var Rules = []Rule{
 	{"det-time", "wall-clock read in a simulation package breaks run-to-run determinism"},
 	{"err-cmp", "sentinel error compared with == or !=; errors.Is also matches wrapped errors"},
 	{"err-wrap", "error formatted with %v/%s/%q loses the chain; wrap with %w"},
+	{"hp-alloc-lit", "slice or map literal allocates on a //mb:hotpath function"},
+	{"hp-alloc-make", "make allocates on a //mb:hotpath function; lease a hotbuf buffer or take a caller-provided one"},
+	{"hp-alloc-new", "new or &composite-literal allocates on a //mb:hotpath function"},
+	{"hp-alloc-string", "string concatenation or string/byte-slice conversion allocates on a //mb:hotpath function"},
 	{"hp-append", "append to a non-preallocated local slice allocates on a //mb:hotpath function"},
 	{"hp-closure", "closure literal allocates on a //mb:hotpath function"},
 	{"hp-defer", "defer has per-call overhead on a //mb:hotpath function"},
@@ -147,6 +153,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		HotPathAnalyzer,
+		HotAllocAnalyzer,
 		ConcurrencyAnalyzer,
 		ErrConvAnalyzer,
 		DirectiveAnalyzer,

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer is the allocation half of the hot-path discipline:
+// where the hp-* rules in hotpath.go reject constructs that are slow or
+// dynamically dispatched, the hp-alloc-* family rejects constructs that
+// heap-allocate at all inside //mb:hotpath functions. The steady-state
+// simulation loop carries a 0 allocs/op budget (enforced at runtime by
+// the alloc_gate_test suites); these rules reject the violating code at
+// analysis time, before a benchmark ever notices the GC.
+//
+//   - hp-alloc-make:   make always allocates; hot paths lease from an
+//     internal/hotbuf pool or take a caller-provided buffer. A cold-path
+//     first-use make needs an //mb:ignore with its justification.
+//   - hp-alloc-new:    new(T) and &T{...} produce pointers that
+//     overwhelmingly escape; hot-path state lives in preallocated
+//     structures.
+//   - hp-alloc-lit:    slice and map literals allocate their backing
+//     store (array literals are values and pass).
+//   - hp-alloc-string: non-constant string concatenation and
+//     string<->[]byte/[]rune conversions copy through fresh heap
+//     buffers.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotPathMarked(fn) {
+					continue
+				}
+				p.checkHotAlloc(fn)
+			}
+		}
+	},
+}
+
+func (p *Pass) checkHotAlloc(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	// Composite literals already reported behind a & (one allocation, one
+	// finding under hp-alloc-new).
+	claimed := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotAllocCall(name, n)
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				claimed[lit] = true
+				p.Reportf(n.Pos(), "hp-alloc-new", "keep hot-path state in preallocated structures",
+					"&composite-literal allocates in hot-path function %s", name)
+			}
+		case *ast.CompositeLit:
+			if claimed[n] {
+				return true
+			}
+			tv, ok := p.Info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "hp-alloc-lit", "preallocate the slice outside the hot path",
+					"slice literal allocates in hot-path function %s", name)
+			case *types.Map:
+				p.Reportf(n.Pos(), "hp-alloc-lit", "preallocate the map outside the hot path",
+					"map literal allocates in hot-path function %s", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && p.exprIsString(n.X) && !p.exprIsConstant(n) {
+				p.Reportf(n.Pos(), "hp-alloc-string", "record raw values; build strings off the hot path",
+					"string concatenation allocates in hot-path function %s", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && p.exprIsString(n.Lhs[0]) {
+				p.Reportf(n.Pos(), "hp-alloc-string", "record raw values; build strings off the hot path",
+					"string concatenation allocates in hot-path function %s", name)
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkHotAllocCall(fnName string, call *ast.CallExpr) {
+	if p.isBuiltin(call, "make") {
+		p.Reportf(call.Pos(), "hp-alloc-make", "lease from a hotbuf pool or take a caller-provided buffer",
+			"make allocates in hot-path function %s", fnName)
+		return
+	}
+	if p.isBuiltin(call, "new") {
+		p.Reportf(call.Pos(), "hp-alloc-new", "keep hot-path state in preallocated structures",
+			"new allocates in hot-path function %s", fnName)
+		return
+	}
+	// Conversions that copy through a fresh buffer: string(b), []byte(s),
+	// []rune(s), string(rs). Constant conversions are folded at compile
+	// time and pass.
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	if p.exprIsConstant(call) {
+		return
+	}
+	to, from := tv.Type.Underlying(), p.exprType(call.Args[0])
+	if from == nil {
+		return
+	}
+	if isStringType(to) && isByteOrRuneSlice(from.Underlying()) ||
+		isByteOrRuneSlice(to) && isStringType(from.Underlying()) {
+		p.Reportf(call.Pos(), "hp-alloc-string", "keep the data in one representation on the hot path",
+			"string conversion copies and allocates in hot-path function %s", fnName)
+	}
+}
+
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func (p *Pass) exprIsString(e ast.Expr) bool {
+	t := p.exprType(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (p *Pass) exprIsConstant(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

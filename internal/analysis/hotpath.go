@@ -131,7 +131,7 @@ func (p *Pass) checkHotPathAppend(fn *ast.FuncDecl, call *ast.CallExpr) {
 	if p.preallocatedIn(fn, obj) {
 		return
 	}
-	p.Reportf(call.Pos(), "hp-append", "preallocate with make(len/cap) or let the caller own the slice",
+	p.Reportf(call.Pos(), "hp-append", "lease a hotbuf buffer, preallocate outside the function, or let the caller own the slice",
 		"append to non-preallocated local %s in hot-path function %s", target.Name, fn.Name.Name)
 }
 

@@ -1,0 +1,81 @@
+// Package brokenalloc is an mbvet golden-finding fixture for the
+// hp-alloc-* allocation rules: one annotated function violates every
+// rule at least once, suppressed cases carry recorded reasons and stay
+// silent, and a compliant lease/return function draws nothing.
+package brokenalloc
+
+// Record is a concrete payload used to force pointer allocations.
+type Record struct{ n uint64 }
+
+// Pool is a minimal lease/return pool standing in for internal/hotbuf;
+// fixture packages are self-contained by design.
+type Pool struct{ free [][]uint64 }
+
+// Lease pops a parked buffer, allocating only on first use at a depth.
+// The cold-path make is suppressed with a recorded reason — the same
+// pattern internal/hotbuf itself uses.
+//
+//mb:hotpath fixture: suppressed cold-path make
+func (p *Pool) Lease() []uint64 {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b[:0]
+	}
+	//mb:ignore hp-alloc-make fixture: one allocation per nesting depth ever reached, then reused
+	return make([]uint64, 0, 64)
+}
+
+// Return parks a buffer for the next lease.
+//
+//mb:hotpath fixture: compliant return
+func (p *Pool) Return(b []uint64) { p.free = append(p.free, b[:0]) }
+
+// Churn violates every hp-alloc rule at least once.
+//
+//mb:hotpath fixture: deliberately allocating
+func Churn(vals []uint64, s string, bs []byte) int {
+	buf := make([]uint64, 0, len(vals)) // hp-alloc-make (preallocated, so hp-append stays quiet)
+	for _, v := range vals {
+		buf = append(buf, v)
+	}
+	box := new(Record)      // hp-alloc-new
+	rec := &Record{n: 1}    // hp-alloc-new: &composite-literal
+	pair := []uint64{1, 2}  // hp-alloc-lit: slice literal
+	idx := map[uint64]int{} // hp-alloc-lit: map literal
+	msg := s + "!"          // hp-alloc-string: concatenation
+	msg += s                // hp-alloc-string: += concatenation
+	raw := []byte(s)        // hp-alloc-string: string -> []byte copies
+	back := string(bs)      // hp-alloc-string: []byte -> string copies
+	idx[pair[0]] = len(raw) + len(back) + len(msg)
+	return len(buf) + int(box.n+rec.n)
+}
+
+// Steady is the compliant form: a leased buffer filled and returned,
+// concrete values throughout, no string building; silent. The append
+// into the leased buffer is suppressed with its reason — the analyzer
+// cannot see the pool's capacity guarantee.
+//
+//mb:hotpath fixture: compliant lease/return cycle
+func Steady(p *Pool, vals []uint64) uint64 {
+	buf := p.Lease()
+	for _, v := range vals {
+		//mb:ignore hp-append fixture: leased buffer carries the pool's capacity guarantee
+		buf = append(buf, v)
+	}
+	var sum uint64
+	for _, v := range buf {
+		sum += v
+	}
+	p.Return(buf)
+	return sum
+}
+
+// Relaxed is unannotated: the same allocations draw no findings.
+func Relaxed(s string) string {
+	m := map[string]int{}
+	b := make([]byte, 0, 8)
+	b = append(b, s...)
+	m[string(b)] = len(s)
+	return s + "!"
+}

@@ -35,10 +35,11 @@ func Drain(vals []uint64, c *Count) int {
 	return len(acc)
 }
 
-// Fill is the compliant form: preallocated append, concrete calls,
-// no formatting; silent.
+// Fill preallocates with make: that satisfies hp-append (the append
+// itself never grows), but under the allocation rules the make is the
+// finding — hp-alloc-make, and nothing else.
 //
-//mb:hotpath fixture: compliant
+//mb:hotpath fixture: preallocated append; draws hp-alloc-make only
 func Fill(vals []uint64, c *Count) []uint64 {
 	out := make([]uint64, 0, len(vals))
 	for _, v := range vals {

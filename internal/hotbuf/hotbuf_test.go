@@ -1,0 +1,154 @@
+package hotbuf
+
+import (
+	"testing"
+)
+
+func TestLeaseCapacityAndCounts(t *testing.T) {
+	p := NewPool[int](8, 2)
+	if got := p.BufCap(); got != 8 {
+		t.Fatalf("BufCap = %d, want 8", got)
+	}
+	if p.Free() != 2 || p.Leased() != 0 {
+		t.Fatalf("fresh pool: free %d leased %d, want 2 0", p.Free(), p.Leased())
+	}
+	a := p.Lease()
+	b := p.Lease()
+	c := p.Lease() // free list empty: allocates a third
+	for i, buf := range [][]int{a, b, c} {
+		if len(buf) != 0 || cap(buf) < 8 {
+			t.Fatalf("lease %d: len %d cap %d, want 0 and >= 8", i, len(buf), cap(buf))
+		}
+	}
+	if p.Free() != 0 || p.Leased() != 3 {
+		t.Fatalf("after 3 leases: free %d leased %d, want 0 3", p.Free(), p.Leased())
+	}
+	p.Return(a)
+	p.Return(b)
+	p.Return(c)
+	if p.Free() != 3 || p.Leased() != 0 {
+		t.Fatalf("after returns: free %d leased %d, want 3 0", p.Free(), p.Leased())
+	}
+}
+
+func TestLeaseIsLIFO(t *testing.T) {
+	p := NewPool[int](4, 0)
+	a := p.Lease()
+	a = append(a, 7)
+	p.Return(a)
+	b := p.Lease()
+	if p.Free() != 0 {
+		t.Fatalf("free = %d, want 0", p.Free())
+	}
+	// Same backing array: the warm buffer comes back first.
+	b = append(b, 9)
+	if &a[0] != &b[0] {
+		t.Fatal("lease after return did not reuse the returned buffer")
+	}
+}
+
+func TestReturnKeepsGrownBuffers(t *testing.T) {
+	p := NewPool[int](4, 0)
+	b := p.Lease()
+	for i := 0; i < 64; i++ {
+		b = append(b, i) // grow well past BufCap
+	}
+	grown := cap(b)
+	p.Return(b)
+	c := p.Lease()
+	if cap(c) != grown {
+		t.Fatalf("pool dropped the grown buffer: cap %d, want %d", cap(c), grown)
+	}
+}
+
+func TestReturnDropsUndersizedBuffers(t *testing.T) {
+	p := NewPool[int](8, 0)
+	p.Return(nil)
+	p.Return(make([]int, 0, 4))
+	if p.Free() != 0 {
+		t.Fatalf("undersized buffers were recycled: free = %d", p.Free())
+	}
+	if p.Leased() != 0 {
+		t.Fatalf("leased count went negative territory: %d", p.Leased())
+	}
+}
+
+func TestNewPoolRejectsZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0, 0) did not panic")
+		}
+	}()
+	NewPool[byte](0, 0)
+}
+
+// TestAllocGateSteadyLease is the pool's own allocation gate: once the
+// peak nesting depth has been visited, lease/return cycles at or below
+// that depth must not allocate.
+func TestAllocGateSteadyLease(t *testing.T) {
+	p := NewPool[uint64](16, 0)
+	const depth = 3
+	cycle := func() {
+		var held [depth][]uint64
+		for i := 0; i < depth; i++ {
+			held[i] = p.Lease()
+		}
+		for i := depth - 1; i >= 0; i-- {
+			held[i] = append(held[i], uint64(i))
+			p.Return(held[i])
+		}
+	}
+	cycle() // warm: allocates the three depth buffers
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state lease/return cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzHotbufLease drives a random lease/return schedule and checks the
+// pool's structural invariants: every leased buffer is empty with the
+// promised capacity, outstanding buffers never alias each other, and
+// the leased/free accounting stays consistent.
+func FuzzHotbufLease(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 0, 1})
+	f.Add([]byte{1, 1, 0, 2, 0, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := NewPool[uint64](8, 1)
+		var out [][]uint64 // outstanding leases, tagged below
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 || len(out) == 0 {
+				b := p.Lease()
+				if len(b) != 0 || cap(b) < 8 {
+					t.Fatalf("lease: len %d cap %d, want 0 and >= 8", len(b), cap(b))
+				}
+				b = append(b, next) // unique tag in slot 0
+				next++
+				out = append(out, b)
+			} else {
+				i := int(op/2) % len(out)
+				p.Return(out[i])
+				out = append(out[:i], out[i+1:]...)
+			}
+			if p.Leased() != len(out) {
+				t.Fatalf("pool reports %d leased, harness holds %d", p.Leased(), len(out))
+			}
+			for i, b := range out {
+				for j := i + 1; j < len(out); j++ {
+					if &b[0] == &out[j][0] {
+						t.Fatalf("outstanding leases %d and %d alias the same buffer", i, j)
+					}
+				}
+			}
+		}
+		// Every tag must still be where its holder wrote it: the pool never
+		// handed a leased buffer to anyone else.
+		seen := map[uint64]bool{}
+		for _, b := range out {
+			if seen[b[0]] {
+				t.Fatalf("tag %d appears in two outstanding buffers", b[0])
+			}
+			seen[b[0]] = true
+		}
+	})
+}

@@ -477,8 +477,10 @@ type repWorker struct {
 // configured reference budget while its probe cost stays bounded by the
 // same number — one short preceding interval is not enough to warm the
 // cache, and the resulting cold-start bias inflates every estimate.
-func (w *repWorker) measureRep(st *traceStore, spans []Span, rep int, warmup Warmup, warmRefs uint64) repMeasure {
-	out := repMeasure{counts: make([]uint64, w.nobj)}
+// counts is the caller-provided per-object tally slot (length nobj,
+// zeroed); measureRep itself allocates nothing.
+func (w *repWorker) measureRep(st *traceStore, spans []Span, rep int, warmup Warmup, warmRefs uint64, counts []uint64) repMeasure {
+	out := repMeasure{counts: counts}
 	if warmup == WarmupPrev && rep > 0 {
 		lo := uint64(0)
 		if es := spans[rep].estart; es > warmRefs {
@@ -636,8 +638,11 @@ func Run(ctx context.Context, w machine.Workload, budget uint64, cfg Config) (*R
 	}
 
 	// Simulate the representatives on a worker pool. Measurements are
-	// slotted by cluster index, so scheduling cannot influence output.
+	// slotted by cluster index, so scheduling cannot influence output;
+	// their per-object tallies share one arena allocated up front, so the
+	// measurement phase itself stays allocation-free.
 	measures := make([]repMeasure, k)
+	countsArena := make([]uint64, k*nobj)
 	if k > 0 {
 		workers := cfg.Workers
 		if workers <= 0 {
@@ -665,7 +670,8 @@ func Run(ctx context.Context, w machine.Workload, budget uint64, cfg Config) (*R
 			go func(wk *repWorker) {
 				defer wg.Done()
 				for c := range tasks {
-					measures[c] = wk.measureRep(&snk.store, spans, reps[c], cfg.Warmup, warmRefs)
+					slot := countsArena[c*nobj : (c+1)*nobj : (c+1)*nobj]
+					measures[c] = wk.measureRep(&snk.store, spans, reps[c], cfg.Warmup, warmRefs, slot)
 				}
 			}(wk)
 		}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"testing"
+
+	"membottle/internal/alloctest"
+	"membottle/internal/cache"
+	"membottle/internal/mem"
+	"membottle/internal/pmu"
+)
+
+// nullRefSink discards the captured stream (the capture cost itself is
+// what is under test).
+type nullRefSink struct{}
+
+func (nullRefSink) ConsumeRefs(refs []Ref, cyclesBefore uint64) {}
+
+// nullRunSink discards run-compacted capture deliveries.
+type nullRunSink struct{}
+
+func (nullRunSink) ConsumeRuns(entries []uint64, refs, writes, cyclesBefore uint64) {}
+
+// TestAllocGate pins the machine's steady-state allocation budget at
+// zero across every execution mode: the batched hot path with miss
+// interrupts landing mid-stream and a handler that itself issues
+// batched ranges (the nested buffer lease the hotbuf pool exists for),
+// the pooled range helpers, and both capture modes.
+func TestAllocGate(t *testing.T) {
+	cfg := cache.DefaultConfig()
+	line := uint64(cfg.LineSize)
+	span := uint64(cfg.Size) * 2
+	newMachine := func() *Machine {
+		return New(mem.NewSpace(), cache.New(cfg), pmu.New(0), DefaultCosts())
+	}
+	refs := make([]Ref, 4096)
+	for i := range refs {
+		refs[i] = Ref{
+			Addr:    mem.Addr(uint64(i) * 3 * line % span),
+			Write:   i%4 == 0,
+			Compute: uint64(i % 3),
+		}
+	}
+
+	// Batched execution under interrupts: the sampler configuration, with
+	// the handler sweeping its own range so every AccessBatch nests a
+	// second lease under the first.
+	mi := newMachine()
+	mi.PMU.SetMissInterrupt(512)
+	handlerBase := mem.Addr(1) << 40
+	mi.MissHandler = func(m *Machine) {
+		m.LoadRange(handlerBase, 16*line, line, 0)
+		m.PMU.RearmMissInterrupt(512)
+	}
+
+	mr := newMachine()
+	rangeBase := mem.Addr(1) << 30
+
+	mc := newMachine()
+	mc.SetCapture(nullRefSink{})
+
+	mu := newMachine()
+	mu.SetRunCapture(nullRunSink{})
+
+	alloctest.Gate(t, []alloctest.Case{
+		{Name: "machine.AccessBatch/interrupts+nested-range",
+			Warmup: func() { mi.AccessBatch(refs) },
+			Op:     func() { mi.AccessBatch(refs) }},
+		{Name: "machine.LoadRange/pooled",
+			Warmup: func() { mr.LoadRange(rangeBase, 64*1024, line, 1) },
+			Op:     func() { mr.LoadRange(rangeBase, 64*1024, line, 1) }},
+		{Name: "machine.AccessBatch/capture(RefSink)",
+			Warmup: func() { mc.AccessBatch(refs) },
+			Op:     func() { mc.AccessBatch(refs) }},
+		{Name: "machine.LoadRange/runcapture(RunSink)",
+			Warmup: func() { mu.LoadRange(rangeBase, 64*1024, line, 1) },
+			Op:     func() { mu.LoadRange(rangeBase, 64*1024, line, 1) }},
+	})
+
+	if mi.Interrupts == 0 {
+		t.Fatal("interrupt gate never delivered an interrupt — the nested-lease path was not exercised")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"membottle/internal/cache"
+	"membottle/internal/hotbuf"
 	"membottle/internal/mem"
 	"membottle/internal/obs"
 	"membottle/internal/pmu"
@@ -134,7 +135,12 @@ type Machine struct {
 	Scalar bool
 
 	inHandler bool
-	batch     []mem.Ref // reusable AccessBatch buffer for range helpers
+	// batchPool leases the range helpers' staging buffers. Interrupt
+	// handlers delivered mid-batch may themselves call the range helpers,
+	// so rangeRefs leases one buffer per nesting level; the pool retains
+	// every level's buffer after first use, so the steady state — any
+	// nesting depth already visited once — allocates nothing.
+	batchPool *hotbuf.Pool[mem.Ref]
 
 	// Capture mode (see capture.go): when capturing is set every
 	// reference bypasses the cache and flows to a sink instead — either
@@ -613,16 +619,14 @@ func capRefs(refs []Ref, cycles, ev uint64, cost CostModel) (int, bool) {
 	return len(refs), false
 }
 
-// takeBatch claims the machine's reusable batch buffer. Interrupt handlers
-// delivered mid-batch may themselves call the range helpers, so the buffer
-// is surrendered while in use and nested calls allocate their own.
-func (m *Machine) takeBatch() []Ref {
-	b := m.batch
-	m.batch = nil
-	if b == nil {
-		b = make([]Ref, 0, batchChunk)
+// leaseBatch leases a staging buffer for one rangeRefs invocation. The
+// pool is built lazily so machines that never batch (capture mode,
+// scalar differential baselines) pay nothing for it.
+func (m *Machine) leaseBatch() []Ref {
+	if m.batchPool == nil {
+		m.batchPool = hotbuf.NewPool[mem.Ref](batchChunk, 0)
 	}
-	return b[:0]
+	return m.batchPool.Lease()
 }
 
 // LoadRange streams reads over [base, base+bytes) with the given stride,
@@ -653,7 +657,7 @@ func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, wri
 		m.captureRunRange(base, bytes, stride, computePer, write)
 		return
 	}
-	buf := m.takeBatch()
+	buf := m.leaseBatch()
 	for off := uint64(0); off < bytes; off += stride {
 		buf = append(buf, Ref{Addr: base + mem.Addr(off), Write: write, Compute: computePer})
 		if len(buf) == cap(buf) {
@@ -664,7 +668,7 @@ func (m *Machine) rangeRefs(base mem.Addr, bytes, stride, computePer uint64, wri
 	if len(buf) > 0 {
 		m.AccessBatch(buf)
 	}
-	m.batch = buf[:0]
+	m.batchPool.Return(buf)
 }
 
 // --- checkpoint state ----------------------------------------------------

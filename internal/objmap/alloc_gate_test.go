@@ -1,0 +1,47 @@
+package objmap
+
+import (
+	"fmt"
+	"testing"
+
+	"membottle/internal/alloctest"
+	"membottle/internal/mem"
+)
+
+// TestAllocGate pins the resolution hot path's steady-state allocation
+// budget at zero. The probe set cycles globals, heap blocks, and the
+// gaps between them, so both the two-entry hit cache and the binary
+// searches behind it are on the clock.
+func TestAllocGate(t *testing.T) {
+	space := mem.NewSpace()
+	m := New(space)
+	m.BindSpace(space)
+	for i := 0; i < 8; i++ {
+		space.MustDefineGlobal(fmt.Sprintf("g%d", i), 1<<14)
+	}
+	for i := 0; i < 16; i++ {
+		space.MustMalloc(1 << 10)
+	}
+	m.SyncGlobals(space)
+	res := m.Resolver()
+
+	lo, hi := space.Extent()
+	addrs := make([]mem.Addr, 1024)
+	stride := (uint64(hi-lo)/uint64(len(addrs)) | 1)
+	for i := range addrs {
+		addrs[i] = lo + mem.Addr(uint64(i)*stride)
+	}
+
+	alloctest.Gate(t, []alloctest.Case{
+		{Name: "objmap.Resolver.Lookup", Op: func() {
+			for _, a := range addrs {
+				res.Lookup(a)
+			}
+		}},
+		{Name: "objmap.Map.Lookup", Op: func() {
+			for _, a := range addrs {
+				m.Lookup(a)
+			}
+		}},
+	})
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"testing"
+
+	"membottle/internal/alloctest"
+)
+
+// TestAllocGate pins the record paths' steady-state allocation budget
+// at zero: pre-resolved instrument updates, registry get-or-create on
+// the existing-name path, ring-tracer emission (including wrap-around),
+// and the nil-safe Obs.Emit helper. The passivity contract says
+// instrumented runs are bit-identical to plain ones; this gate adds
+// that they are also GC-identical.
+func TestAllocGate(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("gate.counter")
+	g := r.Gauge("gate.gauge")
+	h := r.Histogram("gate.hist", []uint64{10, 100, 1_000, 10_000})
+	tr := NewTracer(256)
+	o := New(Options{TraceCap: 256})
+	var off *Obs // observability disabled: Emit must still be free
+
+	i := uint64(0)
+	alloctest.Gate(t, []alloctest.Case{
+		{Name: "obs.Counter.Inc+Add", Op: func() {
+			ctr.Inc()
+			ctr.Add(3)
+		}},
+		{Name: "obs.Gauge.Set", Op: func() {
+			g.Set(42.5)
+		}},
+		{Name: "obs.Histogram.Observe", Op: func() {
+			i++
+			h.Observe(i % 20_000)
+		}},
+		{Name: "obs.Registry.Counter/existing", Op: func() {
+			r.Counter("gate.counter").Inc()
+		}},
+		{Name: "obs.Tracer.Emit/ring-wrap", Op: func() {
+			i++
+			tr.Emit(Event{Cycle: i, Kind: EvInterrupt, A: 1, B: 2, Note: "gate"})
+		}},
+		{Name: "obs.Obs.Emit", Op: func() {
+			i++
+			o.Emit(Event{Cycle: i, Kind: EvInterrupt, A: 1, B: 2, Note: "gate"})
+			o.Interrupts.Inc()
+			o.IrqLatency.Observe(i % 100_000)
+		}},
+		{Name: "obs.Obs.Emit/nil", Op: func() {
+			off.Emit(Event{Cycle: 1, Kind: EvInterrupt})
+		}},
+	})
+}

@@ -240,26 +240,35 @@ type worker struct {
 
 func (w *worker) run() {
 	for c := range w.ch {
-		w.missIdx = w.part.Sweep(c.packed, w.missIdx[:0])
-		for _, idx := range w.missIdx {
-			a, _ := mem.UnpackRef(c.packed[idx])
-			w.total++
-			obj := w.res.Lookup(a)
-			if obj == nil {
-				w.unmatched++
-				if w.bucket {
-					w.misses = append(w.misses, missRec{gidx: c.gidx[idx], base: c.base[idx], obj: -1})
-				}
-				continue
-			}
-			w.counts[obj.ID]++
-			if w.bucket {
-				w.misses = append(w.misses, missRec{gidx: c.gidx[idx], base: c.base[idx], obj: int32(obj.ID)})
-			}
-		}
-		w.refs += uint64(len(c.packed))
+		w.process(c)
 		w.pool <- c
 	}
+}
+
+// process replays one chunk: sweep it through the partition into the
+// reused missIdx buffer, then attribute each miss. Outside bucket mode
+// this is allocation-free in the steady state (missIdx and counts are
+// preallocated and reused); bucket mode accumulates the run's miss log
+// in w.misses with amortized growth.
+func (w *worker) process(c *chunk) {
+	w.missIdx = w.part.Sweep(c.packed, w.missIdx[:0])
+	for _, idx := range w.missIdx {
+		a, _ := mem.UnpackRef(c.packed[idx])
+		w.total++
+		obj := w.res.Lookup(a)
+		if obj == nil {
+			w.unmatched++
+			if w.bucket {
+				w.misses = append(w.misses, missRec{gidx: c.gidx[idx], base: c.base[idx], obj: -1})
+			}
+			continue
+		}
+		w.counts[obj.ID]++
+		if w.bucket {
+			w.misses = append(w.misses, missRec{gidx: c.gidx[idx], base: c.base[idx], obj: int32(obj.ID)})
+		}
+	}
+	w.refs += uint64(len(c.packed))
 }
 
 // shardCount rounds the requested worker count up to a power of two and
