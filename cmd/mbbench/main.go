@@ -32,8 +32,11 @@ import (
 	"time"
 
 	"membottle"
+	"membottle/internal/experiments"
 	"membottle/internal/interval"
+	"membottle/internal/obs"
 	"membottle/internal/shard"
+	"membottle/internal/store"
 	"membottle/internal/trace"
 	"membottle/internal/truth"
 )
@@ -82,6 +85,10 @@ func main() {
 		maxErr  = flag.Float64("max-rel-err", 0, "with -intervals: exit nonzero if any app's max per-counter relative error exceeds this percentage (CI accuracy gate)")
 		allocAB = flag.Bool("alloc", false, "measure steady-state heap allocations instead: one warmup leg, then a measured continuation leg reporting allocs and bytes")
 		maxAll  = flag.Float64("max-steady-allocs", -1, "with -alloc: exit nonzero if any configuration's steady-state leg exceeds this many heap allocations (CI gate; 0 demands an allocation-free steady state)")
+		storeAB = flag.Bool("store", false, "measure the persistent result store instead: Table 1 cells with the store off, cold, and warm, with byte-identical outputs enforced")
+		stDir   = flag.String("store-dir", "", "with -store: result-store directory (default: a fresh temp dir, removed afterwards)")
+		stClear = flag.Bool("store-clear", false, "with -store: clear the store directory before benchmarking")
+		stMax   = flag.Int64("store-max-bytes", 0, "with -store: store size cap in bytes (0 = default, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -117,6 +124,10 @@ func main() {
 	}
 	if *allocAB {
 		runAllocBench(apps, b, *outDir, *maxAll)
+		return
+	}
+	if *storeAB {
+		runStoreBench(apps, b, *reps, *outDir, *minSpd, *stDir, *stClear, *stMax)
 		return
 	}
 
@@ -448,6 +459,157 @@ func runAllocBench(apps []string, budget uint64, outDir string, maxSteady float6
 	if maxSteady >= 0 && float64(worst.Allocs) > maxSteady {
 		fatal(fmt.Errorf("%s/%s steady-state leg made %d heap allocations, above the %.0f ceiling",
 			worst.App, worst.Mode, worst.Allocs, maxSteady))
+	}
+}
+
+// runStoreBench is the -store mode: the persistent result store's
+// cold-vs-warm A/B. Each application's Table 1 cell runs three ways —
+// store off (the no-store baseline), store cold (compute + persist), and
+// store warm (served entirely from disk) — and all three rendered cells
+// must be byte-identical: the store may only change where the numbers
+// come from, never what they are. The warm leg must additionally record
+// zero store misses and zero simulation runs (nothing recomputed), and
+// -min-speedup turns the aggregate cold-over-warm wall-clock ratio into
+// a CI gate. measureModes' refs tripwire cannot apply here (a warm leg
+// simulates nothing), so this family carries its own cross-checks.
+func runStoreBench(apps []string, budget uint64, reps int, outDir string, minSpeedup float64, dir string, clear bool, maxBytes int64) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mbbench-store-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if clear {
+		s, err := store.Open(dir, store.Options{MaxBytes: maxBytes})
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Clear(); err != nil {
+			fatal(err)
+		}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	// legRun executes one app's Table 1 cell, optionally over the store,
+	// and returns its rendered bytes plus the leg's obs snapshot source.
+	legRun := func(app string, st *store.Store, o *obs.Obs) ([]byte, error) {
+		res, err := experiments.Table1App(app, experiments.Options{
+			Apps:   []string{app},
+			Budget: budget,
+			Obs:    o,
+			Store:  st,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := experiments.RenderTable1([]experiments.AppResult{res}).Render(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	// openLeg opens the shared directory with a fresh obs bundle, so each
+	// leg's store hit/miss counts are its own.
+	openLeg := func() (*store.Store, *obs.Obs) {
+		o := obs.New(obs.Options{NoTrace: true})
+		s, err := store.Open(dir, store.Options{MaxBytes: maxBytes, Obs: o})
+		if err != nil {
+			fatal(err)
+		}
+		return s, o
+	}
+
+	file := File{Workload: "store", Budget: budget}
+	var offNs, coldNs, warmNs int64
+	for _, app := range apps {
+		var offOut, coldOut, warmOut []byte
+		var offBest, coldBest, warmBest int64
+
+		for rep := 0; rep < reps; rep++ {
+			// Off leg: no store anywhere near the run.
+			var err error
+			var out []byte
+			wall, _, _ := measure(func() { out, err = legRun(app, nil, nil) })
+			if err != nil {
+				fatal(fmt.Errorf("store/%s (off): %w", app, err))
+			}
+			if rep == 0 || wall < offBest {
+				offBest = wall
+			}
+			offOut = out
+
+			// Cold leg: an empty store is populated by the run. The store
+			// is cleared outside the measured section so the leg times
+			// compute + persist, not deletion.
+			st, _ := openLeg()
+			if err := st.Clear(); err != nil {
+				fatal(err)
+			}
+			wall, _, _ = measure(func() { out, err = legRun(app, st, nil) })
+			if err != nil {
+				fatal(fmt.Errorf("store/%s (cold): %w", app, err))
+			}
+			if rep == 0 || wall < coldBest {
+				coldBest = wall
+			}
+			coldOut = out
+
+			// Warm leg: the cell the cold leg just persisted must be
+			// served entirely from disk — zero misses, zero simulations.
+			st, legObs := openLeg()
+			wall, _, _ = measure(func() { out, err = legRun(app, st, legObs) })
+			if err != nil {
+				fatal(fmt.Errorf("store/%s (warm): %w", app, err))
+			}
+			if n := legObs.StoreMisses.Value(); n != 0 {
+				fatal(fmt.Errorf("store/%s (warm): %d store misses, want 0 — the warm path recomputed", app, n))
+			}
+			if n := legObs.Runs.Value(); n != 0 {
+				fatal(fmt.Errorf("store/%s (warm): %d simulation runs, want 0 — the warm path recomputed", app, n))
+			}
+			if rep == 0 || wall < warmBest {
+				warmBest = wall
+			}
+			warmOut = out
+		}
+
+		if !bytes.Equal(offOut, coldOut) || !bytes.Equal(offOut, warmOut) {
+			fatal(fmt.Errorf("store/%s: rendered cells differ across store off/cold/warm — the store changed the results", app))
+		}
+		offNs += offBest
+		coldNs += coldBest
+		warmNs += warmBest
+		for _, r := range []Result{
+			{Workload: "store", App: app, Mode: "store-off", WallNs: offBest},
+			{Workload: "store", App: app, Mode: "store-cold", WallNs: coldBest},
+			{Workload: "store", App: app, Mode: "store-warm", WallNs: warmBest,
+				SpeedupVsScalar: float64(coldBest) / float64(warmBest)},
+		} {
+			file.Results = append(file.Results, r)
+		}
+		fmt.Printf("%-8s %-9s off %12v  cold %12v  warm %12v  warm speedup %.2fx\n",
+			"store", app, time.Duration(offBest), time.Duration(coldBest), time.Duration(warmBest),
+			float64(coldBest)/float64(warmBest))
+	}
+	file.AggregateSpeedup = float64(coldNs) / float64(warmNs)
+	fmt.Printf("%-8s aggregate: off %v, cold %v, warm %v, warm speedup %.2fx\n",
+		"store", time.Duration(offNs), time.Duration(coldNs), time.Duration(warmNs), file.AggregateSpeedup)
+	path := filepath.Join(outDir, "BENCH_store.json")
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if minSpeedup > 0 && file.AggregateSpeedup < minSpeedup {
+		fatal(fmt.Errorf("aggregate warm-vs-cold store speedup %.2fx below the %.2fx floor",
+			file.AggregateSpeedup, minSpeedup))
 	}
 }
 

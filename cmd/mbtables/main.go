@@ -33,6 +33,7 @@ import (
 	"membottle/internal/experiments"
 	"membottle/internal/obsio"
 	"membottle/internal/report"
+	"membottle/internal/storeio"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		clusters  = flag.Int("clusters", 0, "cluster count (representatives simulated) for -intervals (0: engine default)")
 	)
 	obsFlags := obsio.Register(flag.CommandLine)
+	storeFlags := storeio.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -83,6 +85,11 @@ func main() {
 		fatal(err)
 	} else {
 		opt.Obs = o
+	}
+	if s, err := storeFlags.Build(opt.Obs); err != nil {
+		fatal(err)
+	} else {
+		opt.Store = s
 	}
 	if *faults != "" {
 		fc, err := membottle.ParseFaults(*faults)

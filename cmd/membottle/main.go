@@ -32,6 +32,7 @@ import (
 	"membottle/internal/experiments"
 	"membottle/internal/obsio"
 	"membottle/internal/report"
+	"membottle/internal/storeio"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 		clusters   = flag.Int("clusters", 0, "cluster count (representatives simulated) for -intervals (0: engine default)")
 	)
 	obsFlags := obsio.Register(flag.CommandLine)
+	storeFlags := storeio.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -70,6 +72,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		st, err := storeFlags.Build(obs)
+		if err != nil {
+			fatal(err)
+		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		res, err := experiments.IntervalErrorsApp(*app, experiments.Options{
@@ -80,6 +86,7 @@ func main() {
 			IntervalRefs:     *intSize,
 			IntervalClusters: *clusters,
 			Obs:              obs,
+			Store:            st,
 		})
 		if err != nil {
 			fatal(err)
@@ -102,6 +109,11 @@ func main() {
 		fatal(err)
 	} else {
 		cfg.Obs = o
+	}
+	// Single-run profiling has no memoizable baselines, but the store
+	// flags still manage the directory (-store-clear works everywhere).
+	if _, err := storeFlags.Build(cfg.Obs); err != nil {
+		fatal(err)
 	}
 	if *faultsSpec != "" {
 		fc, err := membottle.ParseFaults(*faultsSpec)

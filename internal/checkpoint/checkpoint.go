@@ -117,12 +117,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	}
 
 	sec := func(tag byte, payload []byte) error {
-		var b []byte
-		b = append(b, tag)
-		b = binary.AppendUvarint(b, uint64(len(payload)))
-		b = append(b, payload...)
-		_, err := w.Write(b)
-		return err
+		return WriteSection(w, tag, payload)
 	}
 
 	var e enc

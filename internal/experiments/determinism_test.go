@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"membottle/internal/obs"
+	"membottle/internal/store"
 )
 
 // renderTable1Text renders a Table 1 result to its final text form; the
@@ -67,5 +70,60 @@ func TestTable1ScalarMatchesBatched(t *testing.T) {
 			t.Fatalf("%s diagnostics diverge:\nbatched: %+v\nscalar:  %+v",
 				batched[i].App, batched[i], scalar[i])
 		}
+	}
+}
+
+// TestTable1DeterministicAcrossStoreStates is the persistent store's
+// determinism guard: the rendered Table 1 must be byte-identical with
+// the store off, with a cold (empty) store being populated, and with a
+// warm store serving every cell from disk — the store may change where
+// results come from, never what they are.
+func TestTable1DeterministicAcrossStoreStates(t *testing.T) {
+	apps := []string{"mgrid", "figure2", "compress"}
+	const budget = 4_000_000
+	dir := t.TempDir()
+
+	off, err := Table1(Options{Apps: apps, Budget: budget, Serial: true,
+		TruthCache: NewTruthCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldStore, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Table1(Options{Apps: apps, Budget: budget, Serial: true,
+		TruthCache: NewTruthCache(), Store: coldStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm run: fresh in-memory state, fresh store handle over the same
+	// directory (a second invocation), with an obs bundle proving nothing
+	// was recomputed.
+	o := obs.New(obs.Options{NoTrace: true})
+	warmStore, err := store.Open(dir, store.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Table1(Options{Apps: apps, Budget: budget, Serial: true,
+		TruthCache: NewTruthCache(), Store: warmStore, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.StoreMisses.Value(); n != 0 {
+		t.Errorf("warm run recorded %d store misses, want 0", n)
+	}
+	if n := o.Runs.Value(); n != 0 {
+		t.Errorf("warm run performed %d simulation runs, want 0", n)
+	}
+
+	offT, coldT, warmT := renderTable1Text(t, off), renderTable1Text(t, cold), renderTable1Text(t, warm)
+	if offT != coldT {
+		t.Fatalf("rendered Table 1 differs between store-off and store-cold:\n--- off ---\n%s\n--- cold ---\n%s", offT, coldT)
+	}
+	if offT != warmT {
+		t.Fatalf("rendered Table 1 differs between store-off and store-warm:\n--- off ---\n%s\n--- warm ---\n%s", offT, warmT)
 	}
 }

@@ -16,7 +16,9 @@ import (
 	"context"
 
 	"membottle"
+	"membottle/internal/cache"
 	"membottle/internal/core"
+	"membottle/internal/store"
 )
 
 // Options controls an experiment run.
@@ -106,6 +108,16 @@ type Options struct {
 	// Bypassed when fault injection is enabled (faults make run outcomes
 	// attempt-dependent).
 	TruthCache *TruthCache
+	// Geometry is the simulated cache geometry for every run; the zero
+	// value selects membottle.DefaultConfig().Cache. It joins both
+	// memoization keys (TruthCache and Store), so geometry-varying runs
+	// can never alias a cached result.
+	Geometry cache.Config
+	// Store, when non-nil, persists successful plain-run baselines and
+	// completed experiment cells across invocations: lookups go
+	// TruthCache (in-memory, single-flight) → Store (disk) → compute.
+	// Bypassed, like the TruthCache, when fault injection is enabled.
+	Store *store.Store
 
 	// attempt is the current retry attempt for the cell being run; set
 	// by forEachApp, it re-salts the fault injector's seed.
@@ -158,6 +170,17 @@ func (o Options) budgetFor(app string) uint64 {
 		b *= 10
 	}
 	return b
+}
+
+// geometry returns the effective cache geometry: the option as given, or
+// the engine default when zero — the same resolution membottle.NewSystem
+// performs, computed here so memoization keys always hold the geometry
+// the run actually uses.
+func (o Options) geometry() cache.Config {
+	if o.Geometry == (cache.Config{}) {
+		return membottle.DefaultConfig().Cache
+	}
+	return o.Geometry
 }
 
 // sampleIntervalFor returns the sampling interval for one app.

@@ -17,6 +17,7 @@ import (
 // fault injection (re-salted by the current retry attempt).
 func newSystem(opt Options) *membottle.System {
 	cfg := membottle.DefaultConfig()
+	cfg.Cache = opt.geometry()
 	cfg.ScalarRefs = opt.Scalar
 	cfg.Sanitize = opt.Sanitize
 	if opt.Faults != nil {
@@ -49,12 +50,17 @@ func superviseRun(opt Options, sys *membottle.System, app string, budget uint64)
 // sequential engine otherwise or when the workload is outside the
 // sharded engine's static preconditions; results are byte-identical
 // either way. With a TruthCache attached, identical baseline runs are
-// simulated once per invocation and shared.
+// simulated once per invocation and shared; with a persistent Store
+// attached too, they are shared across invocations — the lookup path is
+// TruthCache → Store → compute.
 func runPlain(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
-	if opt.TruthCache != nil && opt.Faults == nil {
+	if opt.Faults != nil {
+		return runPlainUncached(opt, app, budget)
+	}
+	if opt.TruthCache != nil {
 		return opt.TruthCache.get(opt, app, budget)
 	}
-	return runPlainUncached(opt, app, budget)
+	return runPlainStored(opt, app, budget)
 }
 
 // shardEligible reports whether plain runs may use the sharded engine:
@@ -83,6 +89,7 @@ func runInterval(opt Options, app string, budget uint64) (*interval.Result, erro
 		return nil, err
 	}
 	return interval.Run(opt.Ctx, w, budget, interval.Config{
+		Cache:        opt.Geometry,
 		IntervalRefs: opt.IntervalRefs,
 		Clusters:     opt.IntervalClusters,
 		Seed:         opt.Seed,
@@ -112,6 +119,7 @@ func runPlainUncached(opt Options, app string, budget uint64) (*truth.Counter, m
 			return nil, membottle.Overhead{}, err
 		}
 		res, err := shard.Run(opt.Ctx, w, budget, shard.Config{
+			Cache:   opt.Geometry,
 			Workers: opt.TruthWorkers,
 			Obs:     opt.Obs,
 		})

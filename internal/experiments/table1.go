@@ -46,11 +46,17 @@ type AppResult struct {
 
 // Table1App reproduces one application's Table 1 block: an uninstrumented
 // ground-truth run, a sampling run, and a ten-way search run over the
-// same number of application instructions.
+// same number of application instructions. With a persistent Store
+// attached, a previously completed identical cell is returned from disk
+// without simulating anything; a freshly computed cell is persisted for
+// the next invocation.
 func Table1App(app string, opt Options) (AppResult, error) {
 	opt = opt.withDefaults()
 	if err := checkApp(app); err != nil {
 		return AppResult{}, err
+	}
+	if res, ok := loadTable1Cell(app, opt); ok {
+		return res, nil
 	}
 	budget := opt.budgetFor(app)
 
@@ -89,6 +95,7 @@ func Table1App(app string, opt Options) (AppResult, error) {
 		PlainOverhead:    plainOv,
 	}
 	res.Rows = buildRows(actual, sampler.Estimates(), search.Estimates(), 8)
+	saveTable1Cell(app, opt, res)
 	return res, nil
 }
 

@@ -35,11 +35,16 @@ type Table2AppResult struct {
 	TenWayFoundTop   bool
 }
 
-// Table2App reproduces one application's Table 2 block.
+// Table2App reproduces one application's Table 2 block. With a
+// persistent Store attached, a previously completed identical cell is
+// returned from disk; a freshly computed cell is persisted.
 func Table2App(app string, opt Options) (Table2AppResult, error) {
 	opt = opt.withDefaults()
 	if err := checkApp(app); err != nil {
 		return Table2AppResult{}, err
+	}
+	if res, ok := loadTable2Cell(app, opt); ok {
+		return res, nil
 	}
 	budget := opt.budgetFor(app)
 
@@ -68,6 +73,7 @@ func Table2App(app string, opt Options) (Table2AppResult, error) {
 		res.TwoWayFoundTop = estRank(two.Estimates(), top) != 0
 		res.TenWayFoundTop = estRank(ten.Estimates(), top) != 0
 	}
+	saveTable2Cell(app, opt, res)
 	return res, nil
 }
 

@@ -58,9 +58,10 @@ type truthEntry struct {
 // first use. Concurrent requests for the same key run once: the entry
 // lock doubles as single-flight, so parallel experiment cells needing
 // the same baseline wait for the first simulation instead of repeating
-// it.
+// it — and, with a persistent Store attached, the first flight consults
+// the disk tier before computing, so warm invocations pay one read.
 func (tc *TruthCache) get(opt Options, app string, budget uint64) (*truth.Counter, membottle.Overhead, error) {
-	key := truthKey{app: app, budget: budget, geom: membottle.DefaultConfig().Cache}
+	key := truthKey{app: app, budget: budget, geom: opt.geometry()}
 	if intervalEligible(opt) {
 		key.intervals = true
 		key.intervalRefs = opt.IntervalRefs
@@ -80,7 +81,7 @@ func (tc *TruthCache) get(opt Options, app string, budget uint64) (*truth.Counte
 	if e.done {
 		return e.truth, e.ov, nil
 	}
-	t, ov, err := runPlainUncached(opt, app, budget)
+	t, ov, err := runPlainStored(opt, app, budget)
 	if err != nil {
 		return nil, membottle.Overhead{}, err
 	}

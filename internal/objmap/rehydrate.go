@@ -1,0 +1,35 @@
+package objmap
+
+import "fmt"
+
+// RehydratedObject is one entry of a persisted object table: the subset
+// of Object identity that survives serialization (extents are not
+// persisted — a rehydrated map cannot resolve addresses).
+type RehydratedObject struct {
+	ID   int
+	Name string
+	Kind Kind
+}
+
+// Rehydrate builds a detached Map from a persisted object table, for
+// decoding stored truth counters without re-running the simulation that
+// created them. The map supports ID-indexed reporting (ByID, Len) only:
+// it has no address index, so Lookup never matches and allocation hooks
+// are not wired. IDs at or beyond n, and IDs absent from the table, get
+// placeholder names — callers persist names only for objects they will
+// report on (nonzero counts).
+func Rehydrate(n int, objects []RehydratedObject) (*Map, error) {
+	m := &Map{byID: make([]*Object, n)}
+	for i := range m.byID {
+		m.byID[i] = &Object{ID: i, Name: fmt.Sprintf("object#%d", i), Kind: KindHeap}
+	}
+	for _, ro := range objects {
+		if ro.ID < 0 || ro.ID >= n {
+			return nil, fmt.Errorf("objmap: rehydrate: id %d out of range [0,%d)", ro.ID, n)
+		}
+		o := m.byID[ro.ID]
+		o.Name = ro.Name
+		o.Kind = ro.Kind
+	}
+	return m, nil
+}

@@ -55,6 +55,11 @@ func goldenObs() *Obs {
 	o.CheckpointBytes.Observe(123_456)
 	o.Checkpoints.Inc()
 	o.Runs.Inc()
+	o.StoreHits.Add(6)
+	o.StoreMisses.Add(2)
+	o.StoreBytesRead.Add(24_576)
+	o.StoreBytesWritten.Add(8_192)
+	o.StoreEvictions.Inc()
 	o.Registry.Gauge("sim.last_run_miss_pct").Set(3.25)
 	return o
 }

@@ -53,6 +53,14 @@ type Obs struct {
 	IntervalFallbacks *Counter // interval.fallbacks: runs demoted to an exact engine
 	IntervalCount     *Counter // interval.intervals: intervals fingerprinted across runs
 	IntervalRepSims   *Counter // interval.rep_sims: cluster representatives simulated
+
+	// Persistent result-store instruments.
+	StoreHits         *Counter // store.hits: results served from disk
+	StoreMisses       *Counter // store.misses: lookups that fell through to compute
+	StoreBytesRead    *Counter // store.bytes_read: record bytes read on hits
+	StoreBytesWritten *Counter // store.bytes_written: record bytes written
+	StoreEvictions    *Counter // store.evictions: entries removed by the size cap
+	StoreQuarantined  *Counter // store.quarantined: corrupt entries moved aside
 }
 
 // Options configures New.
@@ -107,6 +115,12 @@ func New(opt Options) *Obs {
 	o.IntervalFallbacks = r.Counter("interval.fallbacks")
 	o.IntervalCount = r.Counter("interval.intervals")
 	o.IntervalRepSims = r.Counter("interval.rep_sims")
+	o.StoreHits = r.Counter("store.hits")
+	o.StoreMisses = r.Counter("store.misses")
+	o.StoreBytesRead = r.Counter("store.bytes_read")
+	o.StoreBytesWritten = r.Counter("store.bytes_written")
+	o.StoreEvictions = r.Counter("store.evictions")
+	o.StoreQuarantined = r.Counter("store.quarantined")
 	return o
 }
 

@@ -45,6 +45,19 @@ const (
 	// the representative's interval index, B its measured miss count.
 	// Cycle is as for EvIntervalFingerprint.
 	EvRepresentativeSim
+	// EvStoreHit is one result served from the persistent store; A is the
+	// record size in bytes.
+	EvStoreHit
+	// EvStoreMiss is one store lookup that fell through to compute; A is
+	// the record kind; Note is "quarantined" when the entry existed but
+	// failed validation.
+	EvStoreMiss
+	// EvStoreWrite is one record written to the persistent store; A is the
+	// record size in bytes.
+	EvStoreWrite
+	// EvStoreEvict is one entry removed by the store's size cap; A is the
+	// evicted entry's size in bytes.
+	EvStoreEvict
 	evKindEnd // sentinel; keep last
 )
 
@@ -61,6 +74,10 @@ var kindNames = map[EventKind]string{
 	EvIntervalFingerprint: "interval-fingerprint",
 	EvIntervalCluster:     "interval-cluster",
 	EvRepresentativeSim:   "representative-sim",
+	EvStoreHit:            "store-hit",
+	EvStoreMiss:           "store-miss",
+	EvStoreWrite:          "store-write",
+	EvStoreEvict:          "store-evict",
 }
 
 var kindByName = func() map[string]EventKind {

@@ -17,6 +17,10 @@ func sampleEvents() []Event {
 		{Cycle: 30_000, Kind: EvCheckpoint, A: 123_456},
 		{Cycle: 40_000, Kind: EvSearchRound, A: 10, B: 2_048},
 		{Cycle: 50_000, Kind: EvSample, A: 0xdeadbeef, B: 1},
+		{Cycle: 60_000, Kind: EvStoreMiss, A: 1},
+		{Cycle: 60_001, Kind: EvStoreWrite, A: 4_096},
+		{Cycle: 60_002, Kind: EvStoreHit, A: 4_096},
+		{Cycle: 60_003, Kind: EvStoreEvict, A: 4_096},
 	}
 }
 

@@ -1,0 +1,37 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreDecode drives decodeRecord with arbitrary bytes: it must
+// never panic, and anything it accepts must be a record whose exact
+// re-encoding it would have produced — i.e. only genuine records under
+// the requested key decode, and the returned payload round-trips.
+func FuzzStoreDecode(f *testing.F) {
+	k := NewKey(KindTruth).Str("app", "tomcatv").U64("budget", 1000).Key()
+	other := NewKey(KindCell).Str("stage", "table1").Key()
+
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(encodeRecord(k, nil))
+	f.Add(encodeRecord(k, []byte("payload")))
+	f.Add(encodeRecord(other, []byte("wrong key")))
+	long := encodeRecord(k, bytes.Repeat([]byte{0xAB}, 512))
+	f.Add(long)
+	f.Add(long[:len(long)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := decodeRecord(data, k)
+		if err != nil {
+			return
+		}
+		// Accepted input must be byte-identical to the canonical encoding
+		// of its payload under this key: no second wire form may decode.
+		if canon := encodeRecord(k, payload); !bytes.Equal(canon, data) {
+			t.Fatalf("accepted non-canonical record: %d bytes decode to %d-byte payload whose canonical form is %d bytes",
+				len(data), len(payload), len(canon))
+		}
+	})
+}

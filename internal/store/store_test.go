@@ -1,0 +1,391 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"membottle/internal/obs"
+)
+
+func testStore(t *testing.T, opt Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore(t, Options{})
+	k := NewKey(KindTruth).Str("app", "tomcatv").U64("budget", 130_000_000).Key()
+	payload := []byte("exact truth bytes")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestEmptyPayloadRoundTrips(t *testing.T) {
+	s := testStore(t, Options{})
+	k := NewKey(KindCell).Str("stage", "empty").Key()
+	if err := s.Put(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("empty-payload entry missed")
+	}
+	if len(got) != 0 {
+		t.Fatalf("payload = %q, want empty", got)
+	}
+}
+
+// TestKeyFieldsCannotAlias pins the canonical encoding: keys built from
+// different field values, names, orders, types, or kinds must differ.
+func TestKeyFieldsCannotAlias(t *testing.T) {
+	base := func() *KeyBuilder {
+		return NewKey(KindTruth).Str("app", "tomcatv").U64("budget", 100)
+	}
+	baseKey := base().Key()
+	variants := map[string]Key{
+		"different value":      NewKey(KindTruth).Str("app", "swim").U64("budget", 100).Key(),
+		"different number":     NewKey(KindTruth).Str("app", "tomcatv").U64("budget", 101).Key(),
+		"different field name": NewKey(KindTruth).Str("application", "tomcatv").U64("budget", 100).Key(),
+		"different order":      NewKey(KindTruth).U64("budget", 100).Str("app", "tomcatv").Key(),
+		"different type":       NewKey(KindTruth).Str("app", "tomcatv").I64("budget", 100).Key(),
+		"different kind":       NewKey(KindCell).Str("app", "tomcatv").U64("budget", 100).Key(),
+		"extra field":          base().Bool("extra", false).Key(),
+	}
+	for name, k := range variants {
+		if k.Sum() == baseKey.Sum() {
+			t.Errorf("%s aliased the base key", name)
+		}
+	}
+	if base().Key().Sum() != baseKey.Sum() {
+		t.Error("identical builds produced different keys")
+	}
+	// String concatenation must not alias: ("ab","c") vs ("a","bc").
+	a := NewKey(KindTruth).Str("x", "ab").Str("y", "c").Key()
+	b := NewKey(KindTruth).Str("x", "a").Str("y", "bc").Key()
+	if a.Sum() == b.Sum() {
+		t.Error("adjacent string fields aliased by concatenation")
+	}
+}
+
+// TestCorruptionIsAMiss flips, truncates, and empties stored records;
+// every damaged form must read as a miss and be quarantined, never
+// returned as data.
+func TestCorruptionIsAMiss(t *testing.T) {
+	payload := []byte("the only valid payload")
+	corruptions := []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"bit flip in payload", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x01
+			return c
+		}},
+		{"bit flip in checksum", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x80
+			return c
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			o := obs.New(obs.Options{NoTrace: true})
+			s := testStore(t, Options{Obs: o})
+			k := NewKey(KindTruth).Str("app", "swim").Key()
+			if err := s.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.fn(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt entry not quarantined: stat err = %v", err)
+			}
+			if _, err := os.Stat(path + badExt); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if n := o.StoreQuarantined.Value(); n != 1 {
+				t.Fatalf("store.quarantined = %d, want 1", n)
+			}
+			// The slot is reusable: a recompute-and-rewrite hits again.
+			if err := s.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("rewrite after quarantine failed: ok=%v got=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestWrongKeyRecordRejected: a record copied under another key's
+// filename (checksum intact) must not serve — the embedded key is
+// validated against the request.
+func TestWrongKeyRecordRejected(t *testing.T) {
+	s := testStore(t, Options{})
+	k1 := NewKey(KindTruth).Str("app", "a").Key()
+	k2 := NewKey(KindTruth).Str("app", "b").Key()
+	if err := s.Put(k1, []byte("belongs to k1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k2); ok {
+		t.Fatalf("cross-linked record served under the wrong key: %q", got)
+	}
+}
+
+func TestCrossProcessReuse(t *testing.T) {
+	// Two Store instances over one directory model two processes: entries
+	// written by the first are served to the second.
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKey(KindCell).Str("stage", "table1").Str("app", "mgrid").Key()
+	if err := s1.Put(k, []byte("cell")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok || string(got) != "cell" {
+		t.Fatalf("second open missed the first's entry: ok=%v got=%q", ok, got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := testStore(t, Options{})
+	for _, app := range []string{"a", "b", "c"} {
+		if err := s.Put(NewKey(KindTruth).Str("app", app).Key(), []byte(app)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Len(); err != nil || n != 3 {
+		t.Fatalf("Len = %d, %v; want 3", n, err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != 0 {
+		t.Fatalf("Len after Clear = %d, %v; want 0", n, err)
+	}
+	if _, ok := s.Get(NewKey(KindTruth).Str("app", "a").Key()); ok {
+		t.Fatal("cleared entry still served")
+	}
+}
+
+// TestEvictionLRU fills a tightly capped store and checks that the
+// stalest entries go first and recently read entries survive.
+func TestEvictionLRU(t *testing.T) {
+	o := obs.New(obs.Options{NoTrace: true})
+	dir := t.TempDir()
+	// Cap below three records so the third Put must evict.
+	payload := bytes.Repeat([]byte("x"), 256)
+	probe, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := NewKey(KindTruth).Str("app", "first").Key()
+	if err := probe.Put(k1, payload); err != nil {
+		t.Fatal(err)
+	}
+	recSize, err := probe.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{MaxBytes: 2*recSize + recSize/2, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := NewKey(KindTruth).Str("app", "second").Key()
+	k3 := NewKey(KindTruth).Str("app", "third").Key()
+	// Make k1 demonstrably stalest, then bump it with a read after adding
+	// k2 — so k2, not k1, is the LRU victim when k3 arrives.
+	mtimeShift(t, s.path(k1), -2)
+	if err := s.Put(k2, payload); err != nil {
+		t.Fatal(err)
+	}
+	mtimeShift(t, s.path(k2), -1)
+	if _, ok := s.Get(k1); !ok {
+		t.Fatal("k1 missed before eviction")
+	}
+	if err := s.Put(k3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("stalest entry (k2) survived eviction")
+	}
+	if _, ok := s.Get(k1); !ok {
+		t.Fatal("recently read entry (k1) was evicted")
+	}
+	if _, ok := s.Get(k3); !ok {
+		t.Fatal("just-written entry (k3) was evicted")
+	}
+	if n := o.StoreEvictions.Value(); n == 0 {
+		t.Fatal("store.evictions = 0, want > 0")
+	}
+}
+
+// mtimeShift moves a file's mtime by delta hours and returns the new time.
+func mtimeShift(t *testing.T, path string, deltaHours int) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := info.ModTime().Add(time.Duration(deltaHours) * time.Hour)
+	if err := os.Chtimes(path, nt, nt); err != nil {
+		t.Fatal(err)
+	}
+	return nt.UnixNano()
+}
+
+// TestObsCounters checks the full metric set over a hit/miss/write cycle.
+func TestObsCounters(t *testing.T) {
+	o := obs.New(obs.Options{TraceCap: 64})
+	s := testStore(t, Options{Obs: o})
+	k := NewKey(KindTruth).Str("app", "applu").Key()
+	if _, ok := s.Get(k); ok {
+		t.Fatal("unexpected hit")
+	}
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("unexpected miss")
+	}
+	if n := o.StoreMisses.Value(); n != 1 {
+		t.Errorf("store.misses = %d, want 1", n)
+	}
+	if n := o.StoreHits.Value(); n != 1 {
+		t.Errorf("store.hits = %d, want 1", n)
+	}
+	if n := o.StoreBytesWritten.Value(); n == 0 {
+		t.Error("store.bytes_written = 0, want > 0")
+	}
+	if n := o.StoreBytesRead.Value(); n == 0 {
+		t.Error("store.bytes_read = 0, want > 0")
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, ev := range o.Tracer.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.EvStoreMiss] != 1 || kinds[obs.EvStoreHit] != 1 || kinds[obs.EvStoreWrite] != 1 {
+		t.Errorf("trace events = %v, want one each of store-miss/store-hit/store-write", kinds)
+	}
+}
+
+// TestConcurrentPutGet hammers one directory from many goroutines (run
+// under -race in CI): concurrent writers and readers of overlapping keys
+// must never see torn or foreign data.
+func TestConcurrentPutGet(t *testing.T) {
+	s := testStore(t, Options{})
+	const (
+		workers = 8
+		keys    = 4
+		rounds  = 25
+	)
+	payloadFor := func(ki int) []byte {
+		return bytes.Repeat([]byte{byte('A' + ki)}, 128)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ki := (w + r) % keys
+				k := NewKey(KindCell).U64("k", uint64(ki)).Key()
+				if err := s.Put(k, payloadFor(ki)); err != nil {
+					errCh <- err
+					return
+				}
+				if got, ok := s.Get(k); ok {
+					if !bytes.Equal(got, payloadFor(ki)) {
+						errCh <- errors.New("read tore or crossed keys: " + string(got[:8]))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRecordRejectsTrailingData(t *testing.T) {
+	k := NewKey(KindTruth).Str("app", "x").Key()
+	rec := encodeRecord(k, []byte("p"))
+	// Valid record decodes.
+	if _, err := decodeRecord(rec, k); err != nil {
+		t.Fatal(err)
+	}
+	// Appending anything breaks the checksum.
+	if _, err := decodeRecord(append(append([]byte(nil), rec...), 0), k); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestDefaultDirUnderUserCache(t *testing.T) {
+	t.Setenv("XDG_CACHE_HOME", t.TempDir())
+	dir, err := DefaultDir()
+	if err != nil {
+		t.Skipf("no user cache dir in this environment: %v", err)
+	}
+	if !strings.Contains(dir, filepath.Join("membottle", "store")) {
+		t.Fatalf("DefaultDir = %q, want .../membottle/store", dir)
+	}
+}
