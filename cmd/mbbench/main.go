@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"membottle"
+	"membottle/internal/analysis"
 	"membottle/internal/experiments"
 	"membottle/internal/interval"
 	"membottle/internal/obs"
@@ -89,6 +90,7 @@ func main() {
 		stDir   = flag.String("store-dir", "", "with -store: result-store directory (default: a fresh temp dir, removed afterwards)")
 		stClear = flag.Bool("store-clear", false, "with -store: clear the store directory before benchmarking")
 		stMax   = flag.Int64("store-max-bytes", 0, "with -store: store size cap in bytes (0 = default, negative = unlimited)")
+		vetAB   = flag.Bool("vet", false, "measure mbvet wall time instead: whole-repo load, type-check, and analysis; report-only")
 	)
 	flag.Parse()
 
@@ -128,6 +130,10 @@ func main() {
 	}
 	if *storeAB {
 		runStoreBench(apps, b, *reps, *outDir, *minSpd, *stDir, *stClear, *stMax)
+		return
+	}
+	if *vetAB {
+		runVetBench(*reps, *outDir)
 		return
 	}
 
@@ -611,6 +617,57 @@ func runStoreBench(apps []string, budget uint64, reps int, outDir string, minSpe
 		fatal(fmt.Errorf("aggregate warm-vs-cold store speedup %.2fx below the %.2fx floor",
 			file.AggregateSpeedup, minSpeedup))
 	}
+}
+
+// runVetBench is the -vet mode: it times the full mbvet pipeline —
+// whole-repository load, type-check, per-package rules, call-graph
+// propagation, and the schema sentinel — and reports the fastest of
+// reps repetitions. Report-only: static analysis rides every CI run, so
+// its wall time is a budget worth watching, but no threshold gates it.
+func runVetBench(reps int, outDir string) {
+	var best time.Duration
+	var pkgCount, findingCount int
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			fatal(err)
+		}
+		pkgs, err := loader.Load(filepath.Join(loader.ModuleRoot, "..."))
+		if err != nil {
+			fatal(err)
+		}
+		findings, err := analysis.AnalyzeAll(pkgs, nil)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+		pkgCount, findingCount = len(pkgs), len(findings)
+	}
+	file := File{
+		Workload: "vet",
+		Results: []Result{{
+			Workload: "vet",
+			App:      "repo",
+			Mode:     "mbvet",
+			Refs:     uint64(pkgCount),
+			WallNs:   best.Nanoseconds(),
+		}},
+	}
+	fmt.Printf("vet      %d packages, %d findings, fastest of %d: %v\n",
+		pkgCount, findingCount, reps, best)
+	path := filepath.Join(outDir, "BENCH_vet.json")
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runObsBench is the -obs mode: both sides run the batched engine; the

@@ -8,12 +8,19 @@
 //
 // Everything here is built on the standard library's go/parser, go/ast,
 // and go/types packages only (no x/tools), matching the repo's
-// stdlib-only rule. Four rule families ship today: determinism
+// stdlib-only rule. Four per-package rule families ship: determinism
 // (det-*), hot-path discipline (hp-*, including the hp-alloc-* rules
 // that hold //mb:hotpath functions to the zero-allocation steady-state
 // contract), concurrency hygiene (conc-*), and error conventions
-// (err-*), plus mb-directive for malformed //mb: comments. See the
-// Rules table for the catalog.
+// (err-*), plus mb-directive for malformed //mb: comments. On top of
+// them sit the whole-program analyses (callgraph.go, program.go): a
+// call-graph builder on pure go/types, transitive hot-path propagation
+// from //mb:hotpath roots (terminated by //mb:coldpath boundaries,
+// with hp-call-opaque guarding calls the graph cannot follow and
+// hp-reach reporting the inferred set), and the schema-drift sentinel
+// (schema.go) that fingerprints every type reachable from the
+// serialization codecs against a committed schema.lock. See the Rules
+// table for the catalog.
 package analysis
 
 import (
@@ -65,11 +72,14 @@ var Rules = []Rule{
 	{"hp-alloc-new", "new or &composite-literal allocates on a //mb:hotpath function"},
 	{"hp-alloc-string", "string concatenation or string/byte-slice conversion allocates on a //mb:hotpath function"},
 	{"hp-append", "append to a non-preallocated local slice allocates on a //mb:hotpath function"},
+	{"hp-call-opaque", "hot-path function calls through a func value or unimplemented interface; propagation cannot follow it"},
 	{"hp-closure", "closure literal allocates on a //mb:hotpath function"},
 	{"hp-defer", "defer has per-call overhead on a //mb:hotpath function"},
 	{"hp-fmt", "fmt/log call formats and allocates on a //mb:hotpath function"},
 	{"hp-iface", "interface conversion or assertion allocates/branches on a //mb:hotpath function"},
+	{"hp-reach", "informational report of the inferred hot set (mbvet -reach)"},
 	{"mb-directive", "malformed //mb: directive"},
+	{"schema-drift", "serialized type changed while the codec's version constants are unchanged (schema.lock)"},
 }
 
 // KnownRule reports whether id names a rule in the catalog.

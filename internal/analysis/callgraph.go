@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds a whole-program static call graph over the loaded
+// package set, using only go/ast and go/types. The graph is the
+// foundation of the transitive hot-path analysis: //mb:hotpath roots
+// propagate along its edges, so the hp-* rule family covers everything a
+// hot function can statically reach, not just the annotated bodies.
+//
+// Resolution policy, from most to least precise:
+//
+//   - Static calls (package functions, methods on concrete receivers,
+//     method expressions) resolve exactly via go/types object identity.
+//   - Interface method calls resolve conservatively to the matching
+//     method on every named type in the loaded package set that
+//     implements the interface (by value or pointer receiver). This
+//     over-approximates the dynamic targets but never misses one that
+//     lives in the analyzed module.
+//   - Calls through func values (variables, fields, parameters) and
+//     interface calls with no loaded implementation are opaque: the
+//     graph records the call site, and the hp-call-opaque rule reports
+//     it when the caller is hot, because propagation cannot follow it.
+//
+// Function literals are not separate nodes: a closure's body belongs to
+// the function that lexically contains it, so calls inside a closure
+// declared in a hot function count as calls from that function. This is
+// conservative in the right direction — the closure usually runs on the
+// same path that created it, and hp-closure flags the literal itself.
+
+// CallGraph is the static call graph of one loaded package set.
+type CallGraph struct {
+	// Nodes maps each function or method declared with a body in the
+	// loaded packages to its node. Keys are canonical objects: methods
+	// of instantiated generics are folded to their origin.
+	Nodes map[*types.Func]*CallNode
+
+	// byPos orders nodes deterministically (file, then offset) so every
+	// traversal of the graph is reproducible run to run.
+	byPos []*CallNode
+}
+
+// CallNode is one declared function in the graph.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Hot is set when the declaration carries //mb:hotpath; Cold when it
+	// carries //mb:coldpath. Cold wins if both are present (the directive
+	// analyzer flags the conflict).
+	Hot  bool
+	Cold bool
+
+	// Calls are the resolved outgoing edges in source order.
+	Calls []CallEdge
+	// Opaque are call sites propagation cannot follow: func-value calls
+	// and interface calls with no implementation in the loaded set.
+	Opaque []OpaqueCall
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Iface is set when the edge came from conservative interface
+	// resolution rather than exact static dispatch.
+	Iface bool
+}
+
+// OpaqueCall is a call site whose target cannot be resolved statically.
+type OpaqueCall struct {
+	Pos token.Pos
+	// Desc renders the called expression (e.g. "m.OnMiss").
+	Desc string
+	// Iface is set for interface calls with no loaded implementation,
+	// clear for func-value calls.
+	Iface bool
+}
+
+// BuildCallGraph constructs the call graph for the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+
+	// Pass 1: declare nodes, so edge resolution can recognize in-module
+	// targets, and collect every named type for interface resolution.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := &CallNode{
+					Fn:   canonicalFunc(obj),
+					Decl: fn,
+					Pkg:  pkg,
+					Hot:  isHotPathMarked(fn),
+					Cold: isColdPathMarked(fn),
+				}
+				g.Nodes[node.Fn] = node
+				g.byPos = append(g.byPos, node)
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok && !types.IsInterface(n) {
+				named = append(named, n)
+			}
+		}
+	}
+	sort.Slice(named, func(i, j int) bool {
+		return typeFullName(named[i]) < typeFullName(named[j])
+	})
+	sort.Slice(g.byPos, func(i, j int) bool {
+		a, b := g.byPos[i].Pkg.Fset.Position(g.byPos[i].Decl.Pos()), g.byPos[j].Pkg.Fset.Position(g.byPos[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+
+	// Pass 2: resolve call sites.
+	for _, node := range g.byPos {
+		b := &edgeBuilder{g: g, node: node, named: named}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				b.addCall(call)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// NodesInOrder returns every node in deterministic (file, offset) order.
+func (g *CallGraph) NodesInOrder() []*CallNode { return g.byPos }
+
+// canonicalFunc folds methods of generic instantiations to their origin
+// declaration, which is the object the Defs map and the node table use.
+func canonicalFunc(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// typeFullName renders a named type as pkgpath.Name for sorting and
+// diagnostics.
+func typeFullName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// edgeBuilder accumulates one node's outgoing edges.
+type edgeBuilder struct {
+	g     *CallGraph
+	node  *CallNode
+	named []*types.Named
+}
+
+func (b *edgeBuilder) addCall(call *ast.CallExpr) {
+	p := b.node.Pkg
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions and builtins are not calls to user code.
+	if tv, ok := p.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+	// A directly invoked literal's body is already walked as part of
+	// this node; there is no edge to add.
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return
+	}
+
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			b.addStatic(fn, call.Pos())
+			return
+		}
+		// A func-typed variable or parameter.
+		b.addOpaque(call, false)
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn := sel.Obj().(*types.Func)
+			recv := sel.Recv()
+			if types.IsInterface(recv) {
+				b.addInterfaceCall(fn, call)
+				return
+			}
+			b.addStatic(fn, call.Pos())
+			return
+		}
+		// Method expression (T.M) or package-qualified function.
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			b.addStatic(fn, call.Pos())
+			return
+		}
+		// A func-typed struct field (m.OnMiss(...)).
+		b.addOpaque(call, false)
+	default:
+		// Calling the result of another call, an index expression, etc.
+		b.addOpaque(call, false)
+	}
+}
+
+// addStatic records an exactly resolved edge.
+func (b *edgeBuilder) addStatic(fn *types.Func, pos token.Pos) {
+	b.node.Calls = append(b.node.Calls, CallEdge{Callee: canonicalFunc(fn), Pos: pos})
+}
+
+// addInterfaceCall resolves a call through an interface method to every
+// named type in the loaded set that implements the interface, or records
+// the site as opaque when none does.
+func (b *edgeBuilder) addInterfaceCall(method *types.Func, call *ast.CallExpr) {
+	sig := method.Type().(*types.Signature)
+	iface := ifaceOf(sig.Recv().Type())
+	if iface == nil {
+		b.addOpaque(call, true)
+		return
+	}
+	found := false
+	for _, n := range b.named {
+		impl := implementation(n, iface, method.Name())
+		if impl == nil {
+			continue
+		}
+		impl = canonicalFunc(impl)
+		if _, ok := b.g.Nodes[impl]; !ok {
+			// The implementing method has no body in the loaded set
+			// (embedded from another module, or declared without a body);
+			// the edge would dangle, so count the type but skip the edge.
+			found = true
+			continue
+		}
+		found = true
+		b.node.Calls = append(b.node.Calls, CallEdge{Callee: impl, Pos: call.Pos(), Iface: true})
+	}
+	if !found {
+		b.addOpaque(call, true)
+	}
+}
+
+// ifaceOf unwraps a method receiver type to its interface, if any.
+func ifaceOf(t types.Type) *types.Interface {
+	switch t := t.Underlying().(type) {
+	case *types.Interface:
+		return t
+	}
+	return nil
+}
+
+// implementation returns named's concrete method implementing (iface,
+// name), or nil when named does not implement iface. Pointer-receiver
+// methods count: a *T value can sit in the interface.
+func implementation(named *types.Named, iface *types.Interface, name string) *types.Func {
+	var recv types.Type = named
+	if !types.Implements(recv, iface) {
+		recv = types.NewPointer(named)
+		if !types.Implements(recv, iface) {
+			return nil
+		}
+	}
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func (b *edgeBuilder) addOpaque(call *ast.CallExpr, iface bool) {
+	b.node.Opaque = append(b.node.Opaque, OpaqueCall{
+		Pos:   call.Pos(),
+		Desc:  types.ExprString(ast.Unparen(call.Fun)),
+		Iface: iface,
+	})
+}
+
+// --- hot-set propagation --------------------------------------------------
+
+// HotSet is the result of propagating //mb:hotpath roots through the
+// call graph.
+type HotSet struct {
+	g *CallGraph
+	// members maps every hot function (roots included) to the edge that
+	// first reached it; roots map to a nil edge.
+	members map[*types.Func]*types.Func // member -> caller (nil for roots)
+}
+
+// Propagate computes the transitive hot set from the graph's annotated
+// roots: every function statically reachable from an //mb:hotpath
+// declaration, stopping at //mb:coldpath boundaries. roots may be nil to
+// use the graph's own annotations; a non-nil slice substitutes exactly
+// those roots (the equivalence tests use this to re-propagate with one
+// annotation removed).
+func (g *CallGraph) Propagate(roots []*CallNode) *HotSet {
+	if roots == nil {
+		for _, n := range g.byPos {
+			if n.Hot && !n.Cold {
+				roots = append(roots, n)
+			}
+		}
+	}
+	hs := &HotSet{g: g, members: map[*types.Func]*types.Func{}}
+	var queue []*CallNode
+	for _, r := range roots {
+		if r.Cold {
+			continue
+		}
+		if _, ok := hs.members[r.Fn]; !ok {
+			hs.members[r.Fn] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Calls {
+			callee, ok := hs.g.Nodes[e.Callee]
+			if !ok || callee.Cold {
+				continue
+			}
+			if _, seen := hs.members[e.Callee]; seen {
+				continue
+			}
+			hs.members[e.Callee] = n.Fn
+			queue = append(queue, callee)
+		}
+	}
+	return hs
+}
+
+// Contains reports whether fn is in the hot set.
+func (hs *HotSet) Contains(fn *types.Func) bool {
+	_, ok := hs.members[fn]
+	return ok
+}
+
+// Len returns the number of hot functions (roots included).
+func (hs *HotSet) Len() int { return len(hs.members) }
+
+// Members returns the hot nodes in deterministic graph order.
+func (hs *HotSet) Members() []*CallNode {
+	var out []*CallNode
+	for _, n := range hs.g.byPos {
+		if hs.Contains(n.Fn) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Root returns the root that first reached fn (fn itself when fn is a
+// root), or nil when fn is not hot.
+func (hs *HotSet) Root(fn *types.Func) *types.Func {
+	chain := hs.Chain(fn)
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain[0]
+}
+
+// Chain returns the propagation path root → … → fn discovered by the
+// BFS, or nil when fn is not hot. For a root the chain is just {fn}.
+func (hs *HotSet) Chain(fn *types.Func) []*types.Func {
+	if _, ok := hs.members[fn]; !ok {
+		return nil
+	}
+	var chain []*types.Func
+	for f := fn; f != nil; {
+		chain = append(chain, f)
+		caller, ok := hs.members[f]
+		if !ok {
+			return nil // unreachable: members is closed under the walk
+		}
+		f = caller
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

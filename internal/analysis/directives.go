@@ -103,45 +103,169 @@ func isHotPathMarked(fn *ast.FuncDecl) bool {
 	return false
 }
 
+// isColdPathMarked reports whether the function declaration carries a
+// //mb:coldpath marker in its doc comment. A cold function is a
+// deliberate slow-path boundary: hot-path propagation does not enter it,
+// so the hp-* rules do not apply inside, and calls to it from hot code
+// are sanctioned.
+func isColdPathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if _, ok, _ := ParseColdPathDirective(c.Text); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseColdPathDirective parses one comment's text as a coldpath
+// directive. The expected form is
+//
+//	//mb:coldpath reason text
+//
+// ok is false when the comment is not an mb:coldpath directive at all;
+// err is non-nil when it is one but carries no reason. A coldpath
+// boundary exempts an entire function body from the hot-path rules, so
+// the justification is mandatory, exactly as for //mb:ignore.
+func ParseColdPathDirective(text string) (reason string, ok bool, err error) {
+	body, isDirective := cutDirective(text, "mb:coldpath")
+	if !isDirective {
+		return "", false, nil
+	}
+	reason = strings.TrimSpace(body)
+	if reason == "" {
+		return "", true, fmt.Errorf("mb:coldpath is missing a reason")
+	}
+	return reason, true, nil
+}
+
+// knownVerbs lists every directive verb the suite understands. Any other
+// //mb:<verb> comment is a typo that silently does nothing — exactly the
+// failure mode mb-directive exists to make loud.
+var knownVerbs = []string{"mb:ignore", "mb:hotpath", "mb:coldpath"}
+
 // DirectiveAnalyzer reports malformed //mb: directives: mb:ignore
-// comments that fail to parse, name unknown rules, or are attached
-// nowhere useful. Broken suppressions must be loud — a typo in an
-// ignore comment silently un-suppresses nothing and suppresses nothing.
+// comments that fail to parse or name unknown rules, mb:coldpath
+// comments without a reason or outside a function doc comment, unknown
+// directive verbs, and functions marked both hot and cold. Broken
+// suppressions must be loud — a typo in an ignore comment silently
+// un-suppresses nothing and suppresses nothing.
 var DirectiveAnalyzer = &Analyzer{
 	Name: "directive",
 	Run: func(p *Pass) {
+		// Comments that live in a function's doc comment — the only
+		// place mb:hotpath and mb:coldpath take effect.
+		inFuncDoc := map[*ast.Comment]bool{}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					inFuncDoc[c] = true
+				}
+				if isHotPathMarked(fn) && isColdPathMarked(fn) {
+					p.Reportf(fn.Pos(), "mb-directive", "keep exactly one of the two markers",
+						"function %s is marked both //mb:hotpath and //mb:coldpath", fn.Name.Name)
+				}
+			}
+		}
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					d, ok, err := ParseIgnoreDirective(c.Text)
-					if !ok {
-						continue
-					}
-					if err != nil {
-						p.Reportf(c.Pos(), "mb-directive", "write //mb:ignore RULE reason", "%v", err)
-						continue
-					}
-					for _, r := range d.Rules {
-						if !KnownRule(r) {
-							p.Reportf(c.Pos(), "mb-directive", "pick a rule ID from mbvet -rules", "mb:ignore names unknown rule %q", r)
-						}
-					}
+					p.checkDirectiveComment(c, inFuncDoc[c])
 				}
 			}
 		}
 	},
 }
 
-// applyIgnores filters the pass's findings through the //mb:ignore
-// directives in its files. A finding is suppressed when a well-formed
-// directive naming its rule sits on the same line or the line
-// immediately above. mb-directive findings are never suppressible.
-func applyIgnores(p *Pass) []Finding {
-	type key struct {
-		file string
-		line int
+// checkDirectiveComment validates one comment against the directive
+// grammar.
+func (p *Pass) checkDirectiveComment(c *ast.Comment, inFuncDoc bool) {
+	if d, ok, err := ParseIgnoreDirective(c.Text); ok {
+		if err != nil {
+			p.Reportf(c.Pos(), "mb-directive", "write //mb:ignore RULE reason", "%v", err)
+			return
+		}
+		for _, r := range d.Rules {
+			if !KnownRule(r) {
+				p.Reportf(c.Pos(), "mb-directive", "pick a rule ID from mbvet -rules", "mb:ignore names unknown rule %q", r)
+			}
+		}
+		return
 	}
-	ignores := map[key][]IgnoreDirective{}
+	if _, ok, err := ParseColdPathDirective(c.Text); ok {
+		if err != nil {
+			p.Reportf(c.Pos(), "mb-directive", "write //mb:coldpath reason", "%v", err)
+			return
+		}
+		if !inFuncDoc {
+			p.Reportf(c.Pos(), "mb-directive", "move the directive into the function's doc comment",
+				"mb:coldpath outside a function doc comment has no effect")
+		}
+		return
+	}
+	if _, ok := cutDirective(c.Text, "mb:hotpath"); ok {
+		if !inFuncDoc {
+			p.Reportf(c.Pos(), "mb-directive", "move the directive into the function's doc comment",
+				"mb:hotpath outside a function doc comment has no effect")
+		}
+		return
+	}
+	// Any other machine-style //mb:<verb> comment is a typo: it parses
+	// as no known directive and silently does nothing.
+	if verb, ok := unknownVerb(c.Text); ok {
+		p.Reportf(c.Pos(), "mb-directive", "use one of mb:ignore, mb:hotpath, mb:coldpath",
+			"unknown directive //mb:%s", verb)
+	}
+}
+
+// unknownVerb extracts the verb of a machine-style //mb:<verb> comment
+// that matches no known directive, returning ok=false for ordinary
+// comments.
+func unknownVerb(text string) (string, bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	rest, ok := strings.CutPrefix(text, "mb:")
+	if !ok {
+		return "", false
+	}
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb = rest[:i]
+	}
+	if verb == "" {
+		return "", false
+	}
+	for _, known := range knownVerbs {
+		if "mb:"+verb == known {
+			return "", false
+		}
+	}
+	return verb, true
+}
+
+// ignoreKey addresses one source line's //mb:ignore directives.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignoreIndex maps source lines to their well-formed ignore directives.
+type ignoreIndex map[ignoreKey][]IgnoreDirective
+
+// collectIgnores indexes every well-formed //mb:ignore directive in the
+// package's files.
+func (p *Pass) collectIgnores() ignoreIndex {
+	ignores := ignoreIndex{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -150,19 +274,40 @@ func applyIgnores(p *Pass) []Finding {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				ignores[key{pos.Filename, pos.Line}] = append(ignores[key{pos.Filename, pos.Line}], d)
+				k := ignoreKey{pos.Filename, pos.Line}
+				ignores[k] = append(ignores[k], d)
 			}
 		}
 	}
+	return ignores
+}
+
+// merge folds another index into this one.
+func (ix ignoreIndex) merge(other ignoreIndex) {
+	for k, ds := range other {
+		ix[k] = append(ix[k], ds...)
+	}
+}
+
+// filter drops findings suppressed by a directive naming their rule on
+// the same line or the line immediately above. mb-directive findings are
+// never suppressible.
+func (ix ignoreIndex) filter(findings []Finding) []Finding {
 	var out []Finding
-	for _, fd := range p.findings {
-		if fd.Rule != "mb-directive" && suppressed(ignores[key{fd.File, fd.Line}], fd.Rule) ||
-			fd.Rule != "mb-directive" && suppressed(ignores[key{fd.File, fd.Line - 1}], fd.Rule) {
+	for _, fd := range findings {
+		if fd.Rule != "mb-directive" && suppressed(ix[ignoreKey{fd.File, fd.Line}], fd.Rule) ||
+			fd.Rule != "mb-directive" && suppressed(ix[ignoreKey{fd.File, fd.Line - 1}], fd.Rule) {
 			continue
 		}
 		out = append(out, fd)
 	}
 	return out
+}
+
+// applyIgnores filters the pass's findings through the //mb:ignore
+// directives in its files.
+func applyIgnores(p *Pass) []Finding {
+	return p.collectIgnores().filter(p.findings)
 }
 
 func suppressed(ds []IgnoreDirective, rule string) bool {

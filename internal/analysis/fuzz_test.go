@@ -35,11 +35,31 @@ func FuzzIgnoreDirectiveParse(f *testing.F) {
 		"//mb:ignore det-time,det-time duplicate rule",
 		strings.Repeat("//mb:ignore a ", 50),
 		"//mb:ignore " + strings.Repeat("a,", 300) + "a deep list",
+		"//mb:coldpath flush path runs once per batch",
+		"//mb:coldpath",
+		"//mb:coldpath ",
+		"/*mb:coldpath interrupt delivery*/",
+		"//mb:coldpathx longer verb",
+		"// mb:coldpath spaced marker",
+		"//mb:coldpath\ttab before reason",
+		"//mb:hotpath fixture root",
+		"//mb:frobnicate unknown verb",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, text string) {
+		// The coldpath parser shares the ignore parser's invariants:
+		// never panic, non-directives carry no error, and a parsed
+		// directive has a non-empty reason.
+		if reason, ok, err := ParseColdPathDirective(text); ok {
+			if err == nil && reason == "" {
+				t.Fatalf("parsed coldpath directive from %q has empty reason", text)
+			}
+		} else if err != nil {
+			t.Fatalf("non-coldpath %q returned error %v", text, err)
+		}
+
 		d, ok, err := ParseIgnoreDirective(text)
 		if !ok {
 			if err != nil {

@@ -17,10 +17,14 @@ import (
 type Package struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// Module is the path of the module the package belongs to; the
+	// schema sentinel uses it to restrict fingerprinting to module-local
+	// types.
+	Module string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
 }
 
 // Loader parses and type-checks module packages using only the standard
@@ -265,6 +269,7 @@ func (l *Loader) loadPath(importPath string) (*Package, error) {
 	pkg := &Package{
 		ImportPath: importPath,
 		Dir:        dir,
+		Module:     l.ModulePath,
 		Fset:       l.fset,
 		Files:      files,
 		Types:      tpkg,

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the whole-program layer of mbvet. The per-package rules
+// in the other files see one function at a time; the analyses here see
+// the call graph of the entire loaded package set:
+//
+//   - Transitive hot-path propagation: every function statically
+//     reachable from an //mb:hotpath root inherits the full hp-* rule
+//     family (hp-defer, hp-fmt, hp-closure, hp-iface, hp-append, and
+//     the hp-alloc-* allocation rules) without manual annotation.
+//     //mb:coldpath terminates propagation at deliberate slow-path
+//     boundaries.
+//   - hp-call-opaque: a hot function calling through a func value or an
+//     interface with no loaded implementation escapes static analysis
+//     entirely; the call site must either be suppressed with a reason
+//     or restructured behind an //mb:coldpath boundary.
+//   - hp-reach: an informational report of the inferred hot set,
+//     emitted when requested (mbvet -reach), with full root→callee
+//     chains under -why.
+//   - schema-drift: the serialization schema sentinel (see schema.go).
+
+// ProgramConfig controls the whole-program analyses.
+type ProgramConfig struct {
+	// Reach emits one hp-reach finding per hot-set member.
+	Reach bool
+	// Why renders full root→callee propagation chains in messages
+	// instead of just the originating root.
+	Why bool
+}
+
+// AnalyzeAll runs the per-package rule suite over every loaded package
+// and the whole-program analyses over the set as a unit, returning all
+// surviving findings sorted by file, line, column, and rule. A nil cfg
+// uses the defaults (no reach report, roots only in messages).
+func AnalyzeAll(pkgs []*Package, cfg *ProgramConfig) ([]Finding, error) {
+	if cfg == nil {
+		cfg = &ProgramConfig{}
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, Analyze(pkg)...)
+	}
+	prog, err := analyzeProgram(pkgs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, prog...)
+	sortFindings(findings)
+	return findings, nil
+}
+
+// analyzeProgram runs the call-graph analyses and the schema sentinel,
+// returning findings already filtered through //mb:ignore directives.
+func analyzeProgram(pkgs []*Package, cfg *ProgramConfig) ([]Finding, error) {
+	graph := BuildCallGraph(pkgs)
+	hot := graph.Propagate(nil)
+
+	passes := map[*Package]*Pass{}
+	passFor := func(pkg *Package) *Pass {
+		p, ok := passes[pkg]
+		if !ok {
+			p = &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, ImportPath: pkg.ImportPath}
+			passes[pkg] = p
+		}
+		return p
+	}
+
+	for _, node := range hot.Members() {
+		p := passFor(node.Pkg)
+		mark := len(p.findings)
+
+		// Inferred members (reachable but not annotated) inherit the
+		// full hp-* family; annotated roots already ran it per package.
+		if !node.Hot {
+			p.checkHotPath(node.Decl)
+			p.checkHotAlloc(node.Decl)
+		}
+		for _, op := range node.Opaque {
+			what := "func value"
+			if op.Iface {
+				what = "interface method with no loaded implementation"
+			}
+			p.Reportf(op.Pos, "hp-call-opaque",
+				"mark a deliberate slow path //mb:coldpath, or suppress with //mb:ignore and a reason",
+				"hot-path function %s calls %s %s; propagation cannot follow it",
+				node.Decl.Name.Name, what, op.Desc)
+		}
+		if !node.Hot {
+			// Stamp the propagation provenance onto every finding the
+			// inherited rules produced for this function.
+			suffix := " [" + hotProvenance(hot, node.Fn, cfg.Why) + "]"
+			for i := mark; i < len(p.findings); i++ {
+				p.findings[i].Message += suffix
+			}
+		}
+		if cfg.Reach {
+			if node.Hot {
+				p.Reportf(node.Decl.Name.Pos(), "hp-reach", "",
+					"hot-path root %s (//mb:hotpath)", displayName(node.Fn))
+			} else {
+				p.Reportf(node.Decl.Name.Pos(), "hp-reach", "",
+					"inferred hot-path function %s [%s]", displayName(node.Fn), hotProvenance(hot, node.Fn, cfg.Why))
+			}
+		}
+	}
+
+	// Findings from every package share one ignore index, so an
+	// //mb:ignore in the file that owns the call site suppresses
+	// program-level findings exactly like per-package ones.
+	ignores := ignoreIndex{}
+	for _, pkg := range pkgs {
+		ignores.merge(passFor(pkg).collectIgnores())
+	}
+	var out []Finding
+	for _, p := range passes {
+		out = append(out, ignores.filter(p.findings)...)
+	}
+
+	schema, err := runSchemaSentinel(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ignores.filter(schema)...)
+	return out, nil
+}
+
+// hotProvenance renders where a function's hotness came from: the full
+// root→callee chain under -why, just the root otherwise.
+func hotProvenance(hot *HotSet, fn *types.Func, why bool) string {
+	chain := hot.Chain(fn)
+	if len(chain) == 0 {
+		return "hot"
+	}
+	if !why {
+		return "hot via " + displayName(chain[0])
+	}
+	names := make([]string, len(chain))
+	for i, f := range chain {
+		names[i] = displayName(f)
+	}
+	return "hot via " + strings.Join(names, " -> ")
+}
+
+// displayName renders a function as pkg.Func or pkg.Type.Method, the
+// shortest form that stays unambiguous across the loaded set.
+func displayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// sortFindings orders findings by file, line, column, then rule.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// fnError is a small helper for consistent program-analysis errors.
+func fnError(format string, args ...any) error {
+	return fmt.Errorf("analysis: "+format, args...)
+}

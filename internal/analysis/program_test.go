@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The whole-program tests load the entire repository once and share the
+// result; loading is by far the slowest step.
+var (
+	repoOnce sync.Once
+	repoPkgs []*Package
+	repoErr  error
+)
+
+func loadRepo(t *testing.T) []*Package {
+	t.Helper()
+	repoOnce.Do(func() {
+		loader, err := NewLoader(".")
+		if err != nil {
+			repoErr = err
+			return
+		}
+		repoPkgs, repoErr = loader.Load(filepath.Join(loader.ModuleRoot, "..."))
+	})
+	if repoErr != nil {
+		t.Fatalf("loading repository: %v", repoErr)
+	}
+	return repoPkgs
+}
+
+// hotFuncNames renders a hot set as a set of display names, for set
+// comparison across Propagate calls.
+func hotFuncNames(hs *HotSet) map[string]bool {
+	names := map[string]bool{}
+	for _, n := range hs.Members() {
+		names[n.Pkg.ImportPath+"."+displayName(n.Fn)] = true
+	}
+	return names
+}
+
+// TestHotSetRootEquivalence is the propagation proof on the real
+// repository: for every //mb:hotpath root that is itself statically
+// reachable from some other root, deleting its manual annotation must
+// not shrink the inferred hot set — propagation rediscovers it. This is
+// what makes the annotations redundancy, not load-bearing coverage.
+func TestHotSetRootEquivalence(t *testing.T) {
+	pkgs := loadRepo(t)
+	graph := BuildCallGraph(pkgs)
+	var roots []*CallNode
+	for _, n := range graph.NodesInOrder() {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no //mb:hotpath roots found in the repository")
+	}
+	full := hotFuncNames(graph.Propagate(roots))
+
+	coveredRoots := 0
+	for i, r := range roots {
+		without := make([]*CallNode, 0, len(roots)-1)
+		without = append(without, roots[:i]...)
+		without = append(without, roots[i+1:]...)
+		sub := graph.Propagate(without)
+		if !sub.Contains(r.Fn) {
+			// This root is only hot because of its own annotation;
+			// dropping it legitimately shrinks the set.
+			continue
+		}
+		coveredRoots++
+		got := hotFuncNames(sub)
+		for name := range full {
+			if !got[name] {
+				t.Errorf("dropping root %s loses hot function %s", displayName(r.Fn), name)
+			}
+		}
+		for name := range got {
+			if !full[name] {
+				t.Errorf("dropping root %s adds hot function %s", displayName(r.Fn), name)
+			}
+		}
+	}
+	if coveredRoots == 0 {
+		t.Error("no root is reachable from another root; the equivalence property is vacuous " +
+			"(expected at least one redundant annotation in the repository)")
+	}
+	t.Logf("hot set: %d functions from %d roots (%d roots redundant)", len(full), len(roots), coveredRoots)
+}
+
+// TestHotSetColdPathBoundary pins //mb:coldpath semantics on the real
+// repository: machine.deliver is called from hot code but must not be a
+// hot-set member, and nothing may be hot *via* it.
+func TestHotSetColdPathBoundary(t *testing.T) {
+	pkgs := loadRepo(t)
+	graph := BuildCallGraph(pkgs)
+	hot := graph.Propagate(nil)
+	for _, n := range hot.Members() {
+		if n.Pkg.ImportPath == "membottle/internal/machine" && n.Fn.Name() == "deliver" {
+			t.Errorf("machine.deliver is in the hot set despite //mb:coldpath")
+		}
+		for _, f := range hot.Chain(n.Fn) {
+			if f.Name() == "deliver" {
+				t.Errorf("%s is hot via machine.deliver, which is //mb:coldpath", displayName(n.Fn))
+			}
+		}
+	}
+}
+
+// TestSchemaLockFresh fails when the committed schema.lock diverges from
+// what -update-schema-lock would regenerate: after a sanctioned version
+// bump (or any sanctioned schema change) the lock must be regenerated in
+// the same commit.
+func TestSchemaLockFresh(t *testing.T) {
+	pkgs := loadRepo(t)
+	lockPath := "schema.lock" // this test runs in internal/analysis
+	committed, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("reading committed lock: %v", err)
+	}
+	lock, err := ParseSchemaLock(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := computeSchema(pkgs, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range lock.Codecs {
+		if !snap.active[ci] {
+			t.Fatalf("codec package %s not found in the loaded repository", c.Pkg)
+		}
+	}
+	lock.Versions = snap.Versions
+	lock.Types = snap.Types
+	if got := lock.Format(); got != string(committed) {
+		t.Errorf("schema.lock is stale; run: go run ./cmd/mbvet -update-schema-lock ./...\n--- regenerated ---\n%s", got)
+	}
+}
+
+// TestSchemaDriftOnMutation is the sentinel's end-to-end property, on a
+// synthetic module: start from a lock that matches the source, mutate a
+// serialized type, and schema-drift must fire; bump the version constant
+// as well, and it must not.
+func TestSchemaDriftOnMutation(t *testing.T) {
+	const codecSrc = `// Package rec holds a tiny codec for the drift test.
+package rec
+
+// Version sanctions record changes.
+const Version = %d
+
+// Record is the serialized type.
+type Record struct {
+	ID uint64%s
+}
+
+func encodeRecord(r Record) []byte { _ = r; return nil }
+`
+	write := func(dir string, version int, extraField string) {
+		t.Helper()
+		src := []byte(fmt.Sprintf(codecSrc, version, extraField))
+		if err := os.WriteFile(filepath.Join(dir, "rec.go"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := func(dir string) []*Package {
+		t.Helper()
+		loader, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkgs
+	}
+	drift := func(pkgs []*Package) []Finding {
+		t.Helper()
+		fs, err := runSchemaSentinel(pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module recmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seed := "codec recmod rec.go ^encode recmod.Version\n"
+	lockPath := filepath.Join(dir, LockFileName)
+	if err := os.WriteFile(lockPath, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: generate the lock from the pristine source; clean.
+	write(dir, 1, "")
+	pkgs := load(dir)
+	lock, err := ParseSchemaLock(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateSchemaLock(pkgs, lock); err != nil {
+		t.Fatal(err)
+	}
+	if fs := drift(load(dir)); len(fs) != 0 {
+		t.Fatalf("pristine source drifts: %v", fs)
+	}
+
+	// Mutate the type, keep the version: drift must fire.
+	write(dir, 1, "\n\tName string")
+	fs := drift(load(dir))
+	if len(fs) == 0 {
+		t.Fatal("mutated Record with unchanged Version produced no schema-drift finding")
+	}
+	for _, f := range fs {
+		if f.Rule != "schema-drift" {
+			t.Errorf("unexpected rule %s: %s", f.Rule, f.Message)
+		}
+	}
+
+	// Same mutation plus a version bump: sanctioned, no drift.
+	write(dir, 2, "\n\tName string")
+	if fs := drift(load(dir)); len(fs) != 0 {
+		t.Fatalf("version bump did not sanction the change: %v", fs)
+	}
+}

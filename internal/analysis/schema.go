@@ -1,0 +1,586 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is the serialization schema-drift sentinel. The persistent
+// result store (MBRS1) and the checkpoint format (MBCP1) both decode
+// previously written bytes into live structs, and both rely on a version
+// constant as the only invalidation lever: store.SchemaVersion for
+// result records, checkpoint.Version for snapshots. If a struct that
+// those codecs read or write changes shape — a field added, removed,
+// reordered, or retyped — while the constant stays put, stale records
+// decode into the wrong fields and the repo's bit-reproducibility
+// guarantees silently rot.
+//
+// The sentinel closes that gap structurally: it computes a canonical
+// fingerprint (field names, order, types, and tags, rendered with full
+// package paths) for every module-local type transitively reachable
+// from the codec functions, and checks them against a committed
+// schema.lock. The schema-drift rule fires when a fingerprint moves
+// while the codec's version constants do not. `mbvet -update-schema-lock`
+// is the sanctioned regeneration path, and CI verifies the committed
+// lock matches regenerated output, so a version bump cannot leave a
+// stale lock behind either.
+//
+// A lock file declares its own domain: which packages and files hold the
+// codecs, which functions in them are codec roots, and which version
+// constants sanction a schema change. The repo's lock lives at
+// internal/analysis/schema.lock; a fixture package can carry its own
+// lock next to its source, making the sentinel fully testable.
+
+// LockFileName is the well-known basename a sentinel domain is declared
+// in, discovered next to any analyzed package's source.
+const LockFileName = "schema.lock"
+
+// SchemaCodec is one codec declaration in a lock file: the package and
+// file holding the codec functions, the name pattern selecting them, and
+// the version constants whose bump sanctions a schema change.
+type SchemaCodec struct {
+	// Pkg is the codec package's import path; a loaded package matches
+	// exactly or by path suffix (so fixture packages under testdata can
+	// name themselves without the module prefix).
+	Pkg string
+	// File is the basename of the file holding the codec functions, or
+	// "*" for the whole package.
+	File string
+	// FuncRE selects codec root functions by name.
+	FuncRE string
+	// Versions lists the sanctioning constants as pkgpath.ConstName.
+	Versions []string
+}
+
+// label identifies the codec in findings.
+func (c SchemaCodec) label() string {
+	if c.File == "*" {
+		return c.Pkg
+	}
+	return c.Pkg + "/" + c.File
+}
+
+// SchemaType is one fingerprinted type entry.
+type SchemaType struct {
+	// Name is the type's full pkgpath.TypeName.
+	Name string
+	// Hash is the first 16 hex digits of the SHA-256 of Def.
+	Hash string
+	// Def is the canonical structural rendering the hash covers.
+	Def string
+}
+
+// SchemaLock is a parsed lock file.
+type SchemaLock struct {
+	Path     string
+	Codecs   []SchemaCodec
+	Versions map[string]string     // pkgpath.ConstName -> recorded value
+	Types    map[string]SchemaType // full type name -> entry
+}
+
+// ParseSchemaLock reads and parses a lock file.
+func ParseSchemaLock(path string) (*SchemaLock, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lock := &SchemaLock{Path: path, Versions: map[string]string{}, Types: map[string]SchemaType{}}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "codec":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%s:%d: codec wants <pkg> <file> <func-regexp> <versions>", path, i+1)
+			}
+			if _, err := regexp.Compile(fields[3]); err != nil {
+				return nil, fmt.Errorf("%s:%d: bad codec func regexp: %w", path, i+1, err)
+			}
+			lock.Codecs = append(lock.Codecs, SchemaCodec{
+				Pkg: fields[1], File: fields[2], FuncRE: fields[3],
+				Versions: strings.Split(fields[4], ","),
+			})
+		case "version":
+			// version <pkgpath.ConstName> = <value>
+			if len(fields) != 4 || fields[2] != "=" {
+				return nil, fmt.Errorf("%s:%d: version wants <const> = <value>", path, i+1)
+			}
+			lock.Versions[fields[1]] = fields[3]
+		case "type":
+			// type <pkgpath.TypeName> <hash> <canonical def...>
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%s:%d: type wants <name> <hash> <def>", path, i+1)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "type"))
+			rest = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+			def := strings.TrimSpace(strings.TrimPrefix(rest, fields[2]))
+			lock.Types[fields[1]] = SchemaType{Name: fields[1], Hash: fields[2], Def: def}
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown lock directive %q", path, i+1, fields[0])
+		}
+	}
+	if len(lock.Codecs) == 0 {
+		return nil, fmt.Errorf("%s: lock declares no codec lines", path)
+	}
+	return lock, nil
+}
+
+// Format renders the lock canonically for writing.
+func (l *SchemaLock) Format() string {
+	var b strings.Builder
+	b.WriteString("# mbvet schema.lock — structural fingerprints of every module-local type\n")
+	b.WriteString("# transitively reachable from the serialization codecs declared below.\n")
+	b.WriteString("# A fingerprint change here without a bump of the codec's version\n")
+	b.WriteString("# constants is a schema-drift finding. Regenerate (after deciding whether\n")
+	b.WriteString("# the change is truth-affecting — see DESIGN.md) with:\n")
+	b.WriteString("#\n")
+	b.WriteString("#   go run ./cmd/mbvet -update-schema-lock\n")
+	b.WriteString("\n")
+	for _, c := range l.Codecs {
+		fmt.Fprintf(&b, "codec %s %s %s %s\n", c.Pkg, c.File, c.FuncRE, strings.Join(c.Versions, ","))
+	}
+	b.WriteString("\n")
+	versions := make([]string, 0, len(l.Versions))
+	for v := range l.Versions {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	for _, v := range versions {
+		fmt.Fprintf(&b, "version %s = %s\n", v, l.Versions[v])
+	}
+	b.WriteString("\n")
+	names := make([]string, 0, len(l.Types))
+	for n := range l.Types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := l.Types[n]
+		fmt.Fprintf(&b, "type %s %s %s\n", t.Name, t.Hash, t.Def)
+	}
+	return b.String()
+}
+
+// --- schema computation ---------------------------------------------------
+
+// schemaSnapshot is the computed counterpart of a lock: observed version
+// values and fingerprints, with per-codec reachability.
+type schemaSnapshot struct {
+	// Versions maps pkgpath.ConstName to its current value; absent when
+	// the constant could not be resolved.
+	Versions map[string]string
+	// Types maps full type names to computed entries.
+	Types map[string]SchemaType
+	// reachedBy maps full type names to the indexes of the codecs that
+	// reach them.
+	reachedBy map[string][]int
+	// active[i] reports whether codec i's package was in the loaded set.
+	active []bool
+	// pos maps full type names to their declaration position, rendered
+	// as a Finding-ready (file, line, col).
+	pos map[string]Finding
+}
+
+// computeSchema fingerprints every module-local type transitively
+// reachable from the lock's codec roots, over the loaded package set.
+func computeSchema(pkgs []*Package, lock *SchemaLock) (*schemaSnapshot, error) {
+	snap := &schemaSnapshot{
+		Versions:  map[string]string{},
+		Types:     map[string]SchemaType{},
+		reachedBy: map[string][]int{},
+		active:    make([]bool, len(lock.Codecs)),
+		pos:       map[string]Finding{},
+	}
+	for ci, codec := range lock.Codecs {
+		re, err := regexp.Compile(codec.FuncRE)
+		if err != nil {
+			return nil, err
+		}
+		var roots []types.Type
+		var rootPkg *Package
+		for _, pkg := range pkgs {
+			if !pkgPathMatches(pkg.ImportPath, codec.Pkg) {
+				continue
+			}
+			snap.active[ci] = true
+			rootPkg = pkg
+			for _, f := range pkg.Files {
+				base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+				if codec.File != "*" && base != codec.File {
+					continue
+				}
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || !re.MatchString(fn.Name.Name) {
+						continue
+					}
+					roots = append(roots, rootTypesOf(pkg, fn)...)
+				}
+			}
+		}
+		if !snap.active[ci] {
+			continue
+		}
+		closeOverTypes(rootPkg, roots, ci, snap)
+		for _, vc := range codec.Versions {
+			if _, done := snap.Versions[vc]; done {
+				continue
+			}
+			if val, ok := lookupConst(pkgs, vc); ok {
+				snap.Versions[vc] = val
+			}
+		}
+	}
+	return snap, nil
+}
+
+// pkgPathMatches reports whether the loaded import path matches a codec
+// package declaration: exactly, or as a path suffix on a path-segment
+// boundary.
+func pkgPathMatches(loaded, decl string) bool {
+	return loaded == decl || strings.HasSuffix(loaded, "/"+decl)
+}
+
+// rootTypesOf collects every type syntactically named in the function
+// declaration (signature and body), which is where a codec's serialized
+// structs necessarily appear — as parameter/result types, composite
+// literal types, or conversion targets.
+func rootTypesOf(pkg *Package, fn *ast.FuncDecl) []types.Type {
+	var out []types.Type
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		if tn, ok := obj.(*types.TypeName); ok && !tn.IsAlias() {
+			out = append(out, tn.Type())
+		}
+		return true
+	})
+	return out
+}
+
+// closeOverTypes walks the type closure from the roots: every
+// module-local named type is fingerprinted, and named structs contribute
+// the named types inside their fields.
+func closeOverTypes(pkg *Package, roots []types.Type, codec int, snap *schemaSnapshot) {
+	var visit func(t types.Type)
+	seen := map[string]bool{}
+	visit = func(t types.Type) {
+		named, ok := t.(*types.Named)
+		if !ok {
+			// Unwrap compound types down to their named components.
+			switch t := t.(type) {
+			case *types.Pointer:
+				visit(t.Elem())
+			case *types.Slice:
+				visit(t.Elem())
+			case *types.Array:
+				visit(t.Elem())
+			case *types.Map:
+				visit(t.Key())
+				visit(t.Elem())
+			case *types.Chan:
+				visit(t.Elem())
+			case *types.Struct:
+				for i := 0; i < t.NumFields(); i++ {
+					visit(t.Field(i).Type())
+				}
+			}
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || !moduleLocal(obj.Pkg().Path(), pkg.Module) {
+			return
+		}
+		name := obj.Pkg().Path() + "." + obj.Name()
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if !containsInt(snap.reachedBy[name], codec) {
+			snap.reachedBy[name] = append(snap.reachedBy[name], codec)
+		}
+		if _, done := snap.Types[name]; !done {
+			def := canonicalDef(named)
+			sum := sha256.Sum256([]byte(def))
+			snap.Types[name] = SchemaType{Name: name, Hash: hex.EncodeToString(sum[:8]), Def: def}
+			position := pkg.Fset.Position(obj.Pos())
+			snap.pos[name] = Finding{File: position.Filename, Line: position.Line, Col: position.Column}
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				visit(st.Field(i).Type())
+			}
+		} else {
+			visit(named.Underlying())
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+}
+
+// moduleLocal reports whether the package path belongs to the module.
+func moduleLocal(path, module string) bool {
+	return path == module || strings.HasPrefix(path, module+"/")
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalDef renders a named type's structure canonically: field
+// names, order, types (with full package paths), and tags for structs;
+// the underlying type otherwise. Referenced named types appear by path
+// only — they carry their own entries — so a change fingerprints exactly
+// the type that changed.
+func canonicalDef(named *types.Named) string {
+	qual := func(p *types.Package) string { return p.Path() }
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return types.TypeString(named.Underlying(), qual)
+	}
+	var b strings.Builder
+	b.WriteString("struct {")
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if i > 0 {
+			b.WriteString(";")
+		}
+		b.WriteString(" ")
+		if !f.Embedded() {
+			b.WriteString(f.Name())
+			b.WriteString(" ")
+		}
+		b.WriteString(types.TypeString(f.Type(), qual))
+		if tag := st.Tag(i); tag != "" {
+			fmt.Fprintf(&b, " %q", tag)
+		}
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// lookupConst resolves pkgpath.ConstName across the loaded packages and
+// their transitive imports, returning its constant value rendering.
+func lookupConst(pkgs []*Package, ref string) (string, bool) {
+	dot := strings.LastIndex(ref, ".")
+	if dot < 0 {
+		return "", false
+	}
+	pkgPath, name := ref[:dot], ref[dot+1:]
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) (string, bool)
+	find = func(p *types.Package) (string, bool) {
+		if p == nil || seen[p] {
+			return "", false
+		}
+		seen[p] = true
+		if pkgPathMatches(p.Path(), pkgPath) {
+			if c, ok := p.Scope().Lookup(name).(*types.Const); ok {
+				return constValueString(c.Val()), true
+			}
+			return "", false
+		}
+		for _, imp := range p.Imports() {
+			if v, ok := find(imp); ok {
+				return v, true
+			}
+		}
+		return "", false
+	}
+	for _, pkg := range pkgs {
+		if v, ok := find(pkg.Types); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func constValueString(v constant.Value) string {
+	if v == nil {
+		return "?"
+	}
+	return v.ExactString()
+}
+
+// --- the sentinel rule ----------------------------------------------------
+
+// runSchemaSentinel discovers lock files next to the loaded packages and
+// checks each domain, returning schema-drift findings.
+func runSchemaSentinel(pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		lockPath := filepath.Join(pkg.Dir, LockFileName)
+		if seen[lockPath] {
+			continue
+		}
+		if _, err := os.Stat(lockPath); err != nil {
+			continue
+		}
+		seen[lockPath] = true
+		lock, err := ParseSchemaLock(lockPath)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := checkSchema(pkgs, lock)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// checkSchema compares the computed schema against one lock.
+func checkSchema(pkgs []*Package, lock *SchemaLock) ([]Finding, error) {
+	snap, err := computeSchema(pkgs, lock)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	report := func(at Finding, format string, args ...any) {
+		findings = append(findings, Finding{
+			Rule:    "schema-drift",
+			File:    at.File,
+			Line:    at.Line,
+			Col:     at.Col,
+			Message: fmt.Sprintf(format, args...),
+			Fix:     "bump the codec's version constant if the change affects serialized truth, then regenerate with mbvet -update-schema-lock",
+		})
+	}
+	lockAt := Finding{File: lock.Path, Line: 1, Col: 1}
+
+	// A codec is "pinned" when every one of its version constants still
+	// carries the value the lock recorded: its record bytes are claimed
+	// unchanged, so its reachable types must fingerprint identically.
+	pinned := make([]bool, len(lock.Codecs))
+	anyActive := false
+	allActive := true
+	for ci, codec := range lock.Codecs {
+		if !snap.active[ci] {
+			allActive = false
+			continue
+		}
+		anyActive = true
+		pinned[ci] = true
+		for _, vc := range codec.Versions {
+			recorded, haveRec := lock.Versions[vc]
+			observed, haveObs := snap.Versions[vc]
+			if !haveObs {
+				report(lockAt, "version constant %s (codec %s) not found in the loaded packages", vc, codec.label())
+				pinned[ci] = false
+				continue
+			}
+			if !haveRec || recorded != observed {
+				// A bumped (or newly recorded) version sanctions schema
+				// changes for this codec; the CI lock-freshness check
+				// forces regeneration.
+				pinned[ci] = false
+			}
+		}
+	}
+	if !anyActive {
+		return nil, nil
+	}
+
+	// Fingerprint drift and new types, attributed to pinned codecs.
+	names := make([]string, 0, len(snap.Types))
+	for n := range snap.Types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		viaPinned := ""
+		for _, ci := range snap.reachedBy[name] {
+			if pinned[ci] {
+				viaPinned = lock.Codecs[ci].label()
+				break
+			}
+		}
+		if viaPinned == "" {
+			continue
+		}
+		got := snap.Types[name]
+		want, inLock := lock.Types[name]
+		switch {
+		case !inLock:
+			report(snap.pos[name], "type %s is now reachable from the %s codec but has no schema.lock entry", name, viaPinned)
+		case want.Hash != got.Hash:
+			report(snap.pos[name], "serialized type %s changed (lock: %s, now: %s) while the %s codec's version constants are unchanged",
+				name, want.Def, got.Def, viaPinned)
+		}
+	}
+
+	// Types the lock still lists but nothing reaches anymore. Only
+	// decidable when every codec was loaded, and only drift when no
+	// version moved (a bump sanctions removals too).
+	if allActive {
+		allPinned := true
+		for ci := range lock.Codecs {
+			if !pinned[ci] {
+				allPinned = false
+			}
+		}
+		if allPinned {
+			lockNames := make([]string, 0, len(lock.Types))
+			for n := range lock.Types {
+				lockNames = append(lockNames, n)
+			}
+			sort.Strings(lockNames)
+			for _, name := range lockNames {
+				if _, ok := snap.Types[name]; !ok {
+					report(lockAt, "type %s in schema.lock is no longer reachable from any codec", name)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// UpdateSchemaLock recomputes a lock in place from the loaded packages,
+// preserving its codec declarations and rewriting the version and type
+// records. Every declared codec package must be in the loaded set —
+// regenerating from a partial load would silently drop entries.
+func UpdateSchemaLock(pkgs []*Package, lock *SchemaLock) error {
+	snap, err := computeSchema(pkgs, lock)
+	if err != nil {
+		return err
+	}
+	for ci, codec := range lock.Codecs {
+		if !snap.active[ci] {
+			return fnError("schema.lock codec package %s is not in the loaded set; load it (e.g. mbvet -update-schema-lock ./...)", codec.Pkg)
+		}
+		for _, vc := range codec.Versions {
+			if _, ok := snap.Versions[vc]; !ok {
+				return fnError("schema.lock version constant %s not found in the loaded packages", vc)
+			}
+		}
+	}
+	lock.Versions = snap.Versions
+	lock.Types = snap.Types
+	return os.WriteFile(lock.Path, []byte(lock.Format()), 0o644)
+}

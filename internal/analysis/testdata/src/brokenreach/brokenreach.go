@@ -1,0 +1,71 @@
+// Package brokenreach is an mbvet golden fixture for the whole-program
+// call-graph analyses: transitive hot-path propagation from //mb:hotpath
+// roots (hp-* findings on unannotated callees, with provenance), the
+// hp-call-opaque guard on calls the graph cannot follow, //mb:coldpath
+// boundaries that terminate propagation, and the hp-reach report.
+package brokenreach
+
+// Process is the annotated root; it is itself compliant, so every
+// finding below comes from propagation, not from this function.
+//
+//mb:hotpath fixture: propagation root
+func Process(vals []uint64) uint64 {
+	var t uint64
+	for _, v := range vals {
+		t += step(v)
+	}
+	return t
+}
+
+// step is unannotated but statically reachable from Process: it
+// inherits the full hp-* family.
+func step(v uint64) uint64 {
+	buf := make([]uint64, 4) // hp-alloc-make with provenance
+	buf[0] = v
+	return spill(buf) + indirect(v)
+}
+
+// hook stands in for a configurable callback the graph cannot resolve.
+var hook func(uint64) uint64
+
+// indirect calls through a func value: hp-call-opaque.
+func indirect(v uint64) uint64 {
+	if hook != nil {
+		return hook(v)
+	}
+	return v
+}
+
+// spill is a deliberate slow-path boundary: propagation stops here, so
+// the allocations inside stay silent.
+//
+//mb:coldpath fixture: flush path runs once per batch, not per value
+func spill(buf []uint64) uint64 {
+	out := make([]uint64, 0, len(buf))
+	out = append(out, buf...)
+	return out[0]
+}
+
+// Sink is dispatched through an interface; the builder conservatively
+// resolves the call to every implementing type in the loaded set.
+type Sink interface{ Add(v uint64) }
+
+// Acc implements Sink; Add inherits hotness through the interface call
+// in Drive.
+type Acc struct{ n uint64 }
+
+// Add violates the allocation discipline it inherited.
+func (a *Acc) Add(v uint64) {
+	b := make([]uint64, 1) // hp-alloc-make via interface resolution
+	b[0] = v
+	a.n += b[0]
+}
+
+// Drive is a second annotated root, dispatching through Sink.
+//
+//mb:hotpath fixture: interface dispatch root
+func Drive(s Sink, vals []uint64) {
+	for _, v := range vals {
+		s.Add(v)
+	}
+}

@@ -1,0 +1,34 @@
+// Package brokenschema is an mbvet golden fixture for the schema-drift
+// sentinel: the schema.lock next to this file records a stale
+// fingerprint for Rec, no entry for Extra, and an entry for a type that
+// no longer exists — all while FormatVersion still carries the recorded
+// value, so none of the changes are sanctioned.
+package brokenschema
+
+// FormatVersion sanctions record-shape changes when bumped. The lock
+// records the same value, so every drift below is a finding.
+const FormatVersion = 1
+
+// Rec is the serialized record; its shape no longer matches the lock
+// entry (the lock predates Tag).
+type Rec struct {
+	ID   uint64
+	Name string
+	Tag  uint64 `json:"tag"`
+}
+
+// Extra is reachable from the codec but absent from the lock.
+type Extra struct{ N uint64 }
+
+// encodeRec is a codec root the lock's ^(enc|dec) pattern selects.
+func encodeRec(r Rec, e Extra) []byte {
+	_ = r
+	_ = e
+	return nil
+}
+
+// decodeRec is the matching decode root.
+func decodeRec(b []byte) (Rec, error) {
+	_ = b
+	return Rec{}, nil
+}

@@ -218,14 +218,21 @@ type traceStore struct {
 	n    uint64     // entries stored
 }
 
-// room makes sure the current block has spare capacity, growing it
-// geometrically below blockEntries and rotating it into full once it
-// reaches exactly blockEntries (keeping forSpan's uniform block
-// indexing).
+// room makes sure the current block has spare capacity, deferring to
+// grow when it has none.
 func (t *traceStore) room() {
 	if len(t.cur) < cap(t.cur) {
 		return
 	}
+	t.grow()
+}
+
+// grow expands the current block geometrically below blockEntries and
+// rotates it into full once it reaches exactly blockEntries (keeping
+// forSpan's uniform block indexing).
+//
+//mb:coldpath amortized block rotation: runs once per block fill, not per entry
+func (t *traceStore) grow() {
 	switch {
 	case cap(t.cur) == 0:
 		t.cur = make([]uint64, 0, smallBlockEntries)

@@ -208,7 +208,7 @@ func (m *Machine) access(a mem.Addr, write bool) {
 	if !m.inHandler {
 		m.AppInsts++
 		if m.OnRef != nil {
-			m.OnRef(a, write)
+			m.OnRef(a, write) //mb:ignore hp-call-opaque test/experiment hook, nil on measured runs
 		}
 	}
 	m.Cycles += m.Cost.HitCycles
@@ -216,12 +216,12 @@ func (m *Machine) access(a mem.Addr, write bool) {
 	if miss {
 		m.Cycles += m.Cost.MissCycles
 		if m.OnMiss != nil {
-			m.OnMiss(a, write, m.inHandler)
+			m.OnMiss(a, write, m.inHandler) //mb:ignore hp-call-opaque test/experiment hook, nil on measured runs
 		}
 		m.PMU.RecordMiss(a)
 	}
 	if m.OnAccess != nil {
-		m.OnAccess(a, write, miss, m.inHandler)
+		m.OnAccess(a, write, miss, m.inHandler) //mb:ignore hp-call-opaque test/experiment hook, nil on measured runs
 	}
 	m.PMU.TickCycles(m.Cycles)
 	if !m.inHandler && m.PMU.HasPending() {
@@ -265,6 +265,8 @@ func (m *Machine) Compute(n uint64) {
 // handler's own execution (memory references and compute) to the virtual
 // clock. Handler references go through the cache, perturbing it exactly as
 // the paper's Figure 3 measures.
+//
+//mb:coldpath interrupt delivery runs once per PMU overflow, not per reference
 func (m *Machine) deliver() {
 	for {
 		kind := m.PMU.Pending()
@@ -463,6 +465,8 @@ func (m *Machine) stop(err error) {
 
 // pollCtx performs a non-blocking context check and resets the poll
 // countdown.
+//
+//mb:coldpath runs once per ctxPollEvery references; allocates only on the terminal cancel path
 func (m *Machine) pollCtx() {
 	m.pollIn = ctxPollEvery
 	if m.stopErr != nil {
@@ -556,7 +560,7 @@ func (m *Machine) AccessBatch(refs []Ref) {
 			r := &refs[done-1]
 			m.Cycles += m.Cost.MissCycles
 			if m.OnMiss != nil {
-				m.OnMiss(r.Addr, r.Write, m.inHandler)
+				m.OnMiss(r.Addr, r.Write, m.inHandler) //mb:ignore hp-call-opaque test/experiment hook, nil on measured runs
 			}
 			m.PMU.RecordMiss(r.Addr)
 			m.PMU.TickCycles(m.Cycles)

@@ -17,16 +17,24 @@ type RehydratedObject struct {
 // it has no address index, so Lookup never matches and allocation hooks
 // are not wired. IDs at or beyond n, and IDs absent from the table, get
 // placeholder names — callers persist names only for objects they will
-// report on (nonzero counts).
+// report on (nonzero counts). Table order is irrelevant, but a duplicate
+// ID is rejected: two entries claiming one slot means the table is
+// corrupt, and silently letting the later one win would misattribute
+// counts.
 func Rehydrate(n int, objects []RehydratedObject) (*Map, error) {
 	m := &Map{byID: make([]*Object, n)}
 	for i := range m.byID {
 		m.byID[i] = &Object{ID: i, Name: fmt.Sprintf("object#%d", i), Kind: KindHeap}
 	}
+	seen := make(map[int]bool, len(objects))
 	for _, ro := range objects {
 		if ro.ID < 0 || ro.ID >= n {
 			return nil, fmt.Errorf("objmap: rehydrate: id %d out of range [0,%d)", ro.ID, n)
 		}
+		if seen[ro.ID] {
+			return nil, fmt.Errorf("objmap: rehydrate: duplicate id %d in object table", ro.ID)
+		}
+		seen[ro.ID] = true
 		o := m.byID[ro.ID]
 		o.Name = ro.Name
 		o.Kind = ro.Kind

@@ -1,0 +1,79 @@
+package objmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRehydrateEmptyTable(t *testing.T) {
+	m, err := Rehydrate(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	for i := 0; i < 3; i++ {
+		o := m.ByID(i)
+		if o.ID != i || o.Kind != KindHeap {
+			t.Errorf("ByID(%d) = %+v, want placeholder with ID %d and KindHeap", i, o, i)
+		}
+		if !strings.Contains(o.Name, "#") {
+			t.Errorf("ByID(%d).Name = %q, want a placeholder name", i, o.Name)
+		}
+	}
+}
+
+func TestRehydrateZeroObjects(t *testing.T) {
+	m, err := Rehydrate(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestRehydrateOutOfOrderRanks(t *testing.T) {
+	// Table order must not matter: entries arrive sorted by count rank,
+	// not by ID.
+	m, err := Rehydrate(4, []RehydratedObject{
+		{ID: 3, Name: "hot", Kind: KindGlobal},
+		{ID: 0, Name: "cold", Kind: KindStack},
+		{ID: 2, Name: "warm", Kind: KindHeap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "cold", 2: "warm", 3: "hot"}
+	for id, name := range want {
+		if got := m.ByID(id).Name; got != name {
+			t.Errorf("ByID(%d).Name = %q, want %q", id, got, name)
+		}
+	}
+	// ID 1 keeps its placeholder.
+	if got := m.ByID(1).Name; !strings.Contains(got, "#1") {
+		t.Errorf("ByID(1).Name = %q, want a placeholder", got)
+	}
+}
+
+func TestRehydrateDuplicateID(t *testing.T) {
+	_, err := Rehydrate(2, []RehydratedObject{
+		{ID: 1, Name: "first"},
+		{ID: 1, Name: "second"},
+	})
+	if err == nil {
+		t.Fatal("duplicate ID accepted, want error")
+	}
+	if !strings.Contains(err.Error(), "duplicate id 1") {
+		t.Errorf("error = %v, want mention of duplicate id 1", err)
+	}
+}
+
+func TestRehydrateIDOutOfRange(t *testing.T) {
+	for _, id := range []int{-1, 2} {
+		if _, err := Rehydrate(2, []RehydratedObject{{ID: id}}); err == nil {
+			t.Errorf("id %d accepted, want error", id)
+		}
+	}
+}

@@ -174,8 +174,11 @@ func (s *sink) ConsumeRefs(refs []machine.Ref, cyclesBefore uint64) {
 			if len(c.packed) == cap(c.packed) {
 				c = s.rotate(sh)
 			}
+			//mb:ignore hp-append chunk buffers are pool-preallocated; rotate above guarantees spare capacity
 			c.packed = append(c.packed, mem.PackRef(r.Addr, r.Write))
+			//mb:ignore hp-append chunk buffers are pool-preallocated; rotate above guarantees spare capacity
 			c.gidx = append(c.gidx, s.gidx)
+			//mb:ignore hp-append chunk buffers are pool-preallocated; rotate above guarantees spare capacity
 			c.base = append(c.base, cyc)
 			s.gidx++
 			cyc += r.Compute * s.cpi
@@ -189,6 +192,7 @@ func (s *sink) ConsumeRefs(refs []machine.Ref, cyclesBefore uint64) {
 		if len(c.packed) == cap(c.packed) {
 			c = s.rotate(sh)
 		}
+		//mb:ignore hp-append chunk buffers are pool-preallocated; rotate above guarantees spare capacity
 		c.packed = append(c.packed, mem.PackRef(r.Addr, r.Write))
 	}
 }
